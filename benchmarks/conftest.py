@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark reads its scale from environment variables so the
+same targets serve both a quick CI pass and a paper-scale reproduction:
+
+* ``REPRO_BENCH_DURATION`` — seconds of simulated streaming per run
+  (default 10; the paper's controlled runs replay ~180 s traces).
+* ``REPRO_BENCH_SEEDS`` — number of trace seeds, i.e. distinct road
+  segments (default 3; the paper uses 100 traces).
+
+Each benchmark prints the rows the paper reports and also writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_duration(default: float = 10.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", default))
+
+
+def bench_seeds(default: int = 3):
+    n = int(os.environ.get("REPRO_BENCH_SEEDS", default))
+    return tuple(range(n))
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

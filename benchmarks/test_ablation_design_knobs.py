@@ -1,0 +1,83 @@
+"""Design-knob ablations (DESIGN.md §5) — beyond the paper's Fig. 13.
+
+Sweeps each XNC design choice across a fixed trace set and prints the
+stall / residual-loss / redundancy / tail-delay trade-off, validating the
+paper's chosen operating points:
+
+* k = 3 extra coded packets: k = 0 leaves ranges undecodable noticeably
+  more often, while larger k only adds redundancy;
+* spreading the one-shot across paths beats dumping it on one path;
+* t_expire = 700 ms balances recovery opportunity against stale traffic;
+* the QoE threshold trades spurious recoveries for tail latency.
+"""
+
+import pytest
+
+from conftest import bench_duration, bench_seeds, write_result
+from repro.analysis.report import format_table
+from repro.experiments.ablations import (
+    HARSH_SEEDS,
+    ROW_HEADERS,
+    sweep_app_threshold,
+    sweep_expiry,
+    sweep_extra_packets,
+    sweep_range_size,
+    sweep_rho,
+    sweep_spread_mode,
+)
+
+DURATION = bench_duration(10.0)
+# harsh seeds by default: benign drives make every knob look identical
+SEEDS = HARSH_SEEDS if "REPRO_BENCH_SEEDS" not in __import__("os").environ else bench_seeds(2)
+
+
+def _report(name, title, points):
+    table = format_table(ROW_HEADERS, [p.as_row() for p in points], title=title)
+    write_result(name, table)
+    return {p.label: p for p in points}
+
+
+def test_ablation_extra_packets(once):
+    points = once(sweep_extra_packets, duration=DURATION, seeds=SEEDS)
+    by = _report("ablation_extra_packets", "Ablation — k extra coded packets (n' = n + k)", points)
+    # more protection never hurts residual loss; redundancy grows with k
+    assert by["k=3"].residual_loss <= by["k=0"].residual_loss + 1e-6
+    assert by["k=6"].redundancy >= by["k=0"].redundancy - 1e-6
+
+
+def test_ablation_rho(once):
+    points = once(sweep_rho, duration=DURATION, seeds=SEEDS)
+    by = _report("ablation_rho", "Ablation — per-path spread bound rho", points)
+    assert by["rho=1.19"].redundancy >= by["rho=1.01"].redundancy - 0.02
+
+
+def test_ablation_spread_mode(once):
+    points = once(sweep_spread_mode, duration=DURATION, seeds=SEEDS)
+    by = _report("ablation_spread_mode", "Ablation — one-shot spread strategy", points)
+    prop = by["proportional_capped"]
+    # flooding burns far more redundancy for little QoE gain
+    assert by["flood"].redundancy > prop.redundancy
+    # single-path recovery forfeits path diversity: never better on loss
+    assert prop.residual_loss <= by["single_path"].residual_loss + 0.01
+
+
+def test_ablation_expiry(once):
+    points = once(sweep_expiry, duration=DURATION, seeds=SEEDS)
+    by = _report("ablation_expiry", "Ablation — packet expiry t_expire", points)
+    # a very short expiry abandons recoverable packets
+    assert by["t_expire=0.7s"].residual_loss <= by["t_expire=0.2s"].residual_loss + 1e-6
+
+
+def test_ablation_range_size(once):
+    points = once(sweep_range_size, duration=DURATION, seeds=SEEDS)
+    _report("ablation_range_size", "Ablation — encode-range cap r", points)
+    # all operating points must remain functional
+    for p in points:
+        assert p.residual_loss < 0.2
+
+
+def test_ablation_app_threshold(once):
+    points = once(sweep_app_threshold, duration=DURATION, seeds=SEEDS)
+    by = _report("ablation_app_threshold", "Ablation — QoE loss-detection threshold", points)
+    # an aggressive threshold fires spuriously: more redundancy than PTO-only
+    assert by["thresh=60ms"].redundancy >= by["thresh=PTO-only"].redundancy - 0.01

@@ -1,0 +1,46 @@
+"""Fig. 12 — XNC vs Pluribus (network-coding-based multipath).
+
+Paper: XNC cut average stall by >81.67 % and used 89.49 % less redundant
+traffic than Pluribus (whose proactive block code pays redundancy all
+the time).  Expected shape: XNC wins all QoE metrics and its redundancy
+is several-fold lower.
+"""
+
+from conftest import bench_duration, bench_seeds, write_result
+from repro.analysis.report import format_table
+from repro.analysis.stats import reduction_pct
+from repro.experiments.figures import fig12_pluribus
+
+
+def test_fig12_vs_pluribus(once):
+    res = once(fig12_pluribus, duration=bench_duration(12.0), seeds=bench_seeds(3))
+
+    rows = []
+    for t in res.transports:
+        label = "XNC" if t == "cellfusion" else "Pluribus"
+        rows.append(
+            [
+                label,
+                "%.2f" % res.fps[t].mean,
+                "%.2f" % (res.stall[t].mean * 100),
+                "%.3f" % res.ssim[t].mean,
+                "%.1f" % (res.redundancy[t].mean * 100),
+            ]
+        )
+    table = format_table(
+        ["transport", "avg FPS", "stall %", "SSIM", "retrans %"],
+        rows,
+        title="Fig. 12 — XNC vs Pluribus",
+    )
+    footer = "\nredundancy reduction vs Pluribus: %.1f%%   stall reduction: %.1f%%" % (
+        reduction_pct(res.redundancy["pluribus"].mean, res.redundancy["cellfusion"].mean),
+        res.stall_reduction_vs("cellfusion", "pluribus"),
+    )
+    write_result("fig12_pluribus", table + footer)
+
+    cf, pl = "cellfusion", "pluribus"
+    assert res.stall[cf].mean <= res.stall[pl].mean + 1e-9
+    assert res.fps[cf].mean >= res.fps[pl].mean - 0.5
+    assert res.ssim[cf].mean >= res.ssim[pl].mean - 0.01
+    # the headline: far less redundant traffic (paper: ~90% less)
+    assert res.redundancy[cf].mean < 0.5 * res.redundancy[pl].mean

@@ -1,0 +1,56 @@
+"""Theorem 4.1 — decode-success probability with k extra coded packets.
+
+The theorem bounds failure at 1/(255^k * 254); the deployed k = 3 makes
+failure astronomically unlikely.  This benchmark Monte-Carlos the rank of
+(n + k) x n coefficient matrices drawn exactly as XNC draws them (leading
+coefficient folded to 1, rest uniform on GF(256)\\{0}) and checks the
+empirical success rate against the bound.
+"""
+
+import random
+
+import numpy as np
+
+from conftest import write_result
+from repro.analysis.report import format_table
+from repro.core.coefficients import coefficient_vector
+from repro.core.gf256 import gf_matrix_rank
+from repro.core.recovery import decode_probability_bound
+
+TRIALS = 400
+N = 8  # lost packets per range (r = 10 bounds it in deployment)
+
+
+def _empirical_success(k, trials, seed=0):
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(trials):
+        rows = [coefficient_vector(rng.randrange(1, 2 ** 32), N) for _ in range(N + k)]
+        if gf_matrix_rank(np.array(rows, dtype=np.uint8)) == N:
+            ok += 1
+    return ok / trials
+
+
+def test_theorem41_decode_probability(benchmark):
+    rates = benchmark.pedantic(
+        lambda: {k: _empirical_success(k, TRIALS, seed=k) for k in (0, 1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [str(k), "%.6f" % decode_probability_bound(k), "%.4f" % rates[k]]
+        for k in (0, 1, 2, 3)
+    ]
+    table = format_table(
+        ["k (extra packets)", "Theorem 4.1 bound", "empirical success"],
+        rows,
+        title="Theorem 4.1 — decode probability vs extra packets",
+    )
+    write_result("theorem41_decode_probability", table)
+
+    for k in (0, 1, 2, 3):
+        bound = decode_probability_bound(k)
+        # allow Monte-Carlo noise of a few trials below the bound
+        assert rates[k] >= bound - 3.0 / TRIALS
+    # k = 3 (the deployed value) should be perfect at this trial count
+    assert rates[3] == 1.0

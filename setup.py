@@ -1,0 +1,17 @@
+"""Setuptools entry point (kept for legacy editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CellFusion / XNC reproduction: multipath vehicle-to-cloud video "
+        "streaming with network coding (SIGCOMM 2023)"
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,111 @@
+"""Terminal plots: CDFs, time series, bar charts for the figure outputs.
+
+The paper's figures are gnuplot artifacts; these render the same data as
+plain text so benchmark output and the CLI can show *shapes* (CDF
+crossovers, per-second loss spikes, QoE bars) without a display server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 12
+_MARKS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(steps - 1, max(0, int((value - lo) / (hi - lo) * (steps - 1))))
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    label: str = "",
+) -> str:
+    """One time series as a strip chart (used for Fig. 3's RF panels)."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        return "%s (no data)" % label
+    if v.size > width:
+        v = np.array([chunk.mean() for chunk in np.array_split(v, width)])
+    lo, hi = float(v.min()), float(v.max())
+    grid = [[" "] * len(v) for _ in range(height)]
+    for x, value in enumerate(v):
+        y = _scale(value, lo, hi, height)
+        grid[height - 1 - y][x] = "#"
+    lines = [("%s  [%.2f .. %.2f]" % (label, lo, hi)).rstrip()]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * len(v))
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    x_label: str = "value",
+    log_x: bool = False,
+) -> str:
+    """Overlaid empirical CDFs (the Fig. 10(a)/13(a) style plot).
+
+    Each named series gets its own mark; the x-axis optionally log-scales
+    (packet delays span decades).
+    """
+    cleaned = {k: np.sort(np.asarray(list(v), dtype=float)) for k, v in series.items() if len(v)}
+    if not cleaned:
+        return "(no data)"
+    all_values = np.concatenate(list(cleaned.values()))
+    positive = all_values[all_values > 0]
+    if log_x and positive.size:
+        lo, hi = float(np.log10(positive.min())), float(np.log10(positive.max()))
+    else:
+        log_x = False
+        lo, hi = float(all_values.min()), float(all_values.max())
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, vals) in enumerate(cleaned.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        probs = np.arange(1, vals.size + 1) / vals.size
+        for value, p in zip(vals, probs):
+            xv = np.log10(value) if log_x and value > 0 else value
+            x = _scale(float(xv), lo, hi, width)
+            y = _scale(float(p), 0.0, 1.0, height)
+            grid[height - 1 - y][x] = mark
+    lines = ["CDF (y: 0..1, x: %s%s)" % (x_label, ", log scale" if log_x else "")]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join("%s=%s" % (_MARKS[i % len(_MARKS)], k) for i, k in enumerate(cleaned))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars (the Fig. 9/11/12 QoE panels)."""
+    if not values:
+        return "(no data)"
+    longest = max(len(k) for k in values)
+    top = max(values.values()) or 1.0
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * max(0, int(v / top * width))
+        lines.append("%-*s | %-*s %.3f%s" % (longest, name, width, bar, v, unit))
+    return "\n".join(lines)
+
+
+def frame_strip(statuses: Sequence[str], width: int = 66) -> str:
+    """The Fig. 8 film strip: '.' normal, 'b' blocky, 'X' lost."""
+    glyph = {"normal": ".", "corrupt": "b", "missing": "X"}
+    s = "".join(glyph.get(x, "?") for x in statuses)
+    if len(s) <= width:
+        return s
+    return s[:width] + "…"

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark output.
+
+Every figure-reproduction benchmark prints its results through these
+helpers so EXPERIMENTS.md rows can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_qoe_rows(results: Dict[str, "object"]) -> str:
+    """Standard QoE table: one row per transport."""
+    headers = ["transport", "avg FPS", "stall %", "SSIM", "redundancy %"]
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                "%.2f" % r.qoe.avg_fps,
+                "%.2f" % (r.qoe.stall_ratio * 100),
+                "%.3f" % r.qoe.ssim,
+                "%.2f" % (r.redundancy_ratio * 100),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def format_percentiles(name: str, pct: Dict[str, float], unit: str = "ms") -> str:
+    parts = ", ".join("%s=%.1f%s" % (k, v, unit) for k, v in pct.items())
+    return "%s: %s" % (name, parts)

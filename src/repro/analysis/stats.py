@@ -1,0 +1,112 @@
+"""Statistics helpers: percentiles, CDFs, per-second aggregation.
+
+Thin, well-tested wrappers used by every benchmark so the numbers quoted
+in EXPERIMENTS.md all come from one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0..100) with linear interpolation."""
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return float(np.percentile(arr, p))
+
+
+def tail_percentiles(values: Sequence[float]) -> Dict[str, float]:
+    """The paper's standard tail report: P50/P95/P99/P99.9."""
+    return {
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "p99.9": percentile(values, 99.9),
+    }
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probability)."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percent reduction of ``improved`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+@dataclass
+class SeriesSummary:
+    """mean/std/min/max of one metric across repeated runs."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SeriesSummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("empty sample")
+        return cls(float(arr.mean()), float(arr.std()), float(arr.min()), float(arr.max()), arr.size)
+
+    def __str__(self) -> str:
+        return "%.3f ± %.3f [%.3f, %.3f] (n=%d)" % (self.mean, self.std, self.min, self.max, self.n)
+
+
+def per_second_bins(
+    times: Sequence[float], values: Optional[Sequence[float]] = None, duration: Optional[float] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate event times into 1 Hz bins.
+
+    With ``values`` None, returns counts per second; otherwise the mean of
+    ``values`` per second (NaN for empty seconds).
+    """
+    t = np.asarray(list(times), dtype=np.float64)
+    if duration is None:
+        duration = float(t.max()) + 1.0 if t.size else 1.0
+    edges = np.arange(0.0, np.ceil(duration) + 1.0)
+    counts, _ = np.histogram(t, bins=edges)
+    if values is None:
+        return edges[:-1], counts.astype(np.float64)
+    v = np.asarray(list(values), dtype=np.float64)
+    sums, _ = np.histogram(t, bins=edges, weights=v)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return edges[:-1], means
+
+
+def loss_rate_per_second(
+    sent_times: Sequence[float], recv_ids: set, sent_ids: Sequence[int], duration: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-second loss rate from (send time, id) pairs and a received-id set.
+
+    Mirrors the §2.2 methodology: loss = 1 - received/sent within the
+    second of transmission.
+    """
+    t = np.asarray(list(sent_times), dtype=np.float64)
+    ids = list(sent_ids)
+    if t.size != len(ids):
+        raise ValueError("sent_times/sent_ids length mismatch")
+    edges = np.arange(0.0, np.ceil(duration) + 1.0)
+    sent_counts, _ = np.histogram(t, bins=edges)
+    got = np.asarray([1.0 if i in recv_ids else 0.0 for i in ids])
+    got_counts, _ = np.histogram(t, bins=edges, weights=got)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate = np.where(sent_counts > 0, 1.0 - got_counts / np.maximum(sent_counts, 1), np.nan)
+    return edges[:-1], rate

@@ -1,0 +1,19 @@
+"""Comparison transports: reliable MPQUIC/MPTCP, BONDING, Pluribus."""
+
+from .bonding import BondingTunnelClient, UnlimitedController, build_bonding_paths
+from .pluribus import PluribusConfig, PluribusTunnelClient
+from .quic_fec import FecConfig, FecTunnelClient
+from .reliable import InOrderTunnelServer, ReliableTunnelClient, UnorderedTunnelServer
+
+__all__ = [
+    "BondingTunnelClient",
+    "UnlimitedController",
+    "build_bonding_paths",
+    "PluribusConfig",
+    "FecConfig",
+    "FecTunnelClient",
+    "PluribusTunnelClient",
+    "InOrderTunnelServer",
+    "ReliableTunnelClient",
+    "UnorderedTunnelServer",
+]

@@ -1,0 +1,112 @@
+"""Proactive FEC baseline (QUIC-FEC-style, [34]; the §4.1 strawman).
+
+§4.1 frames the design space: a *proactive* scheme sends feed-forward
+redundancy with every first transmission, a *reactive* scheme (XNC)
+repairs only after detecting loss.  The paper's argument against
+proactive coding on vehicular links: bursty loss forces a permanently
+high redundancy rate, because you cannot predict when a burst will hit
+or how long it will last — so you pay worst-case overhead all the time,
+and a burst longer than a block's protection still kills the block.
+
+This transport makes that argument measurable.  It streams systematic
+blocks of ``k`` packets followed by ``r`` repair packets (RLNC over the
+block, so the standard decoder consumes it), with ``r/k`` fixed at the
+configured redundancy rate.  No feedback, no retransmission — pure
+feed-forward protection, spread round-robin over the paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.frames import XncNcFrame
+from ..core.rlnc import RlncEncoder
+from ..emulation.emulator import MultipathEmulator
+from ..emulation.events import EventLoop
+from ..multipath.path import PathManager
+from ..multipath.scheduler.base import Scheduler
+from ..multipath.scheduler.roundrobin import RoundRobinScheduler
+from ..transport.base import AppPacket, TunnelClientBase
+
+
+@dataclass
+class FecConfig:
+    """Fixed-rate feed-forward protection parameters."""
+
+    block_packets: int = 10
+    #: repair packets per original packet (0.3 -> 3 repairs per 10-block)
+    redundancy_rate: float = 0.30
+    block_timeout: float = 0.015
+    seed: int = 23
+
+    def __post_init__(self):
+        if self.block_packets < 2:
+            raise ValueError("block_packets must be >= 2")
+        if self.redundancy_rate < 0:
+            raise ValueError("redundancy_rate must be >= 0")
+
+    @property
+    def repairs_per_block(self) -> int:
+        return max(1, round(self.block_packets * self.redundancy_rate))
+
+
+class FecTunnelClient(TunnelClientBase):
+    """Systematic fixed-rate FEC sender (no feedback loop at all)."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        paths: PathManager,
+        config: Optional[FecConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler())
+        self.config = config or FecConfig()
+        self.encoder = RlncEncoder(simd=True)
+        self._rng = random.Random(self.config.seed)
+        self._block_start: Optional[int] = None
+        self._block_count = 0
+        self._block_timer = None
+        self.blocks_protected = 0
+
+    def _on_app_packet_queued(self, pkt: AppPacket) -> None:
+        self.encoder.register(pkt.packet_id, pkt.payload, self.loop.now)
+        if self._block_start is None:
+            self._block_start = pkt.packet_id
+            self._block_count = 0
+            self._block_timer = self.loop.call_later(self.config.block_timeout, self._close_block)
+        self._block_count += 1
+        if self._block_count >= self.config.block_packets:
+            self._close_block()
+
+    def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
+        if not self.encoder.contains(pkt.packet_id):
+            self.encoder.register(pkt.packet_id, pkt.payload, self.loop.now)
+        return XncNcFrame.original(pkt.packet_id, self.encoder.encode(pkt.packet_id, 1, 0))
+
+    def _on_cc_lost(self, info, now: float) -> None:
+        # purely proactive: losses are never repaired reactively
+        return
+
+    def _close_block(self) -> None:
+        if self._block_timer is not None:
+            self._block_timer.cancel()
+            self._block_timer = None
+        if self._block_start is None or self._block_count < 2:
+            self._block_start = None
+            return
+        start, count = self._block_start, self._block_count
+        self._block_start = None
+        paths = self.paths.usable(self.loop.now) or self.paths.all()
+        for i in range(self.config.repairs_per_block):
+            seed = self._rng.randrange(1, 2 ** 32)
+            payload = self.encoder.encode(start, count, seed)
+            frame = XncNcFrame.coded(start, count, seed, payload)
+            self._transmit_frame(
+                paths[i % len(paths)], frame, tuple(range(start, start + count)), is_recovery=True
+            )
+        self.blocks_protected += 1
+        self.loop.call_later(1.0, self.encoder.release_range, start, count)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — stream one session through a chosen transport and print the
+  QoE summary (the quickstart, parameterised);
+* ``compare`` — run several transports over the same traces and print
+  the comparison table (the Fig. 9/11 harness, parameterised);
+* ``figure`` — regenerate one paper figure's rows (fig3, fig8, fig9,
+  fig10a, fig10b, fig11, fig12, fig13a, fig13b);
+* ``trace`` — synthesise a cellular drive trace and export it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_qoe_rows, format_table
+from .analysis.stats import tail_percentiles
+from .emulation.cellular import generate_cellular_trace, generate_fleet_traces
+from .emulation.trace import save_json, save_mahimahi
+from .experiments import figures
+from .experiments.runner import TRANSPORT_NAMES, run_stream
+from .video.source import VideoConfig
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--duration", type=float, default=10.0, help="seconds of streaming")
+    p.add_argument("--seed", type=int, default=0, help="trace seed (road segment)")
+    p.add_argument("--bitrate", type=float, default=30.0, help="video bitrate in Mbps")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_stream(
+        args.transport,
+        duration=args.duration,
+        seed=args.seed,
+        video=VideoConfig(bitrate_mbps=args.bitrate, seed=args.seed + 1),
+    )
+    print(format_qoe_rows({args.transport: result}))
+    if result.packet_delays:
+        pct = tail_percentiles(result.packet_delays)
+        print("packet delay: " + "  ".join("%s=%.1fms" % (k, v * 1000) for k, v in pct.items()))
+    print("delivery %.2f%%  redundancy %.2f%%"
+          % (result.delivery_ratio * 100, result.redundancy_ratio * 100))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    seeds = tuple(range(args.runs))
+    res = figures.compare_transports(
+        args.transports, duration=args.duration, seeds=seeds, bitrate_mbps=args.bitrate
+    )
+    rows = [
+        [
+            t,
+            "%.2f" % res.fps[t].mean,
+            "%.2f ± %.2f" % (res.stall[t].mean * 100, res.stall[t].std * 100),
+            "%.3f" % res.ssim[t].mean,
+            "%.2f" % (res.redundancy[t].mean * 100),
+        ]
+        for t in res.transports
+    ]
+    print(format_table(["transport", "avg FPS", "stall %", "SSIM", "redundancy %"], rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "fig3":
+        out = figures.fig3_single_link(duration=args.duration, seed=args.seed)
+        for label, cell in out.items():
+            print("%s: loss %.1f%%  P99 delay %.0f ms  FPS %.1f  stall %.1f%%  SSIM %.2f"
+                  % (label, cell.loss_rate * 100, cell.delay_p99 * 1000,
+                     cell.qoe.avg_fps, cell.qoe.stall_ratio * 100, cell.qoe.ssim))
+    elif name == "fig8":
+        out = figures.fig8_frame_timeline(duration=args.duration, seed=args.seed)
+        for label, tl in out.items():
+            print("%s: %d frames, %d blocky, %d lost, stall %.2f%%"
+                  % (label, len(tl.statuses), tl.blocky_frames, tl.lost_frames, tl.stall_ratio * 100))
+    elif name in ("fig9", "fig11", "fig12"):
+        fn = {"fig9": figures.fig9_road_test, "fig11": figures.fig11_schedulers,
+              "fig12": figures.fig12_pluribus}[name]
+        res = fn(duration=args.duration, seeds=tuple(range(3)))
+        for t in res.transports:
+            print("%-12s fps %.2f  stall %.2f%%  ssim %.3f  redundancy %.2f%%"
+                  % (t, res.fps[t].mean, res.stall[t].mean * 100, res.ssim[t].mean,
+                     res.redundancy[t].mean * 100))
+    elif name == "fig10a":
+        from .analysis.plots import ascii_cdf
+
+        res = figures.fig10a_delay_cdf(duration=args.duration, seeds=tuple(range(3)))
+        for arm, pct in res.percentiles.items():
+            print("%-12s " % arm + "  ".join("%s=%.1fms" % (k, v * 1000) for k, v in pct.items()))
+        print()
+        print(ascii_cdf(res.delays, x_label="packet delay (s)", log_x=True))
+    elif name == "fig10b":
+        for day, r in figures.fig10b_redundancy(days=7, duration=args.duration):
+            print("day %d: %.2f%%" % (day, r * 100))
+    elif name == "fig13a":
+        res = figures.fig13a_qrlnc_ablation(duration=args.duration, seeds=tuple(range(3)))
+        for arm, s in res.summary.items():
+            print("%-12s mean %.3f%%  P99 %.3f%%" % (arm, s["mean"] * 100, s["p99"] * 100))
+    elif name == "fig13b":
+        res = figures.fig13b_loss_detection_ablation(duration=args.duration, seeds=tuple(range(3)))
+        for arm in ("qoe-aware", "pto-only"):
+            print("%-10s " % arm + "  ".join("%s=%.1fms" % (k, v * 1000) for k, v in res[arm].items()))
+    else:
+        print("unknown figure %r" % args.name, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cell = generate_cellular_trace(args.tech, carrier=args.carrier,
+                                   duration=args.duration, seed=args.seed)
+    link = cell.to_link_trace()
+    print("%s: mean capacity %.1f Mbps, mean loss %.1f%%, outage %.1f%% of time"
+          % (link.name, link.mean_capacity_mbps, cell.loss_prob.mean() * 100,
+             cell.outage_mask.mean() * 100))
+    if args.out:
+        if args.out.endswith(".json"):
+            save_json(link, args.out)
+        else:
+            save_mahimahi(link, args.out)
+        print("wrote %s" % args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="stream one session")
+    p_run.add_argument("transport", choices=TRANSPORT_NAMES)
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare transports on the same traces")
+    p_cmp.add_argument("transports", nargs="+", choices=TRANSPORT_NAMES)
+    p_cmp.add_argument("--runs", type=int, default=3, help="number of trace seeds")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("name", help="fig3|fig8|fig9|fig10a|fig10b|fig11|fig12|fig13a|fig13b")
+    _add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_tr = sub.add_parser("trace", help="synthesise and export a drive trace")
+    p_tr.add_argument("--tech", default="5G", choices=["5G", "LTE", "LEO-SAT"])
+    p_tr.add_argument("--carrier", type=int, default=0)
+    p_tr.add_argument("--duration", type=float, default=60.0)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--out", help="output path (.json keeps loss/delay; else mahimahi)")
+    p_tr.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

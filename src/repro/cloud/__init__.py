@@ -1,0 +1,27 @@
+"""CellFusion's cloud-native back-end: controller, proxies, PoPs (§6)."""
+
+from .autoscaler import AutoscalerPolicy, ProxyAutoscaler, ScalingDecision
+from .controller import AuthError, Controller, TunnelConfig
+from .migration import MigrationEvent, MigrationManager, drive_with_migration
+from .nat import NatError, SnatTable, TunAddressPool
+from .pop import PopNode, default_pop_grid
+from .proxy import ProxyServer, ProxyStats
+
+__all__ = [
+    "AutoscalerPolicy",
+    "ProxyAutoscaler",
+    "ScalingDecision",
+    "MigrationEvent",
+    "MigrationManager",
+    "drive_with_migration",
+    "AuthError",
+    "Controller",
+    "TunnelConfig",
+    "NatError",
+    "SnatTable",
+    "TunAddressPool",
+    "PopNode",
+    "default_pop_grid",
+    "ProxyServer",
+    "ProxyStats",
+]

@@ -1,0 +1,123 @@
+"""Proxy container autoscaling (§6.1).
+
+"Containerization makes it easy to autoscale these proxy servers to meet
+the change in demand."  This module implements that control loop: each
+PoP runs some number of proxy containers, each serving up to
+``sessions_per_container`` vehicles; the autoscaler scales the container
+count toward a target utilisation with hysteresis and per-step rate
+limits (the standard HPA shape), never dropping below one container per
+healthy PoP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .pop import PopNode
+
+
+@dataclass
+class AutoscalerPolicy:
+    """Horizontal scaling policy for proxy containers at one PoP."""
+
+    sessions_per_container: int = 25
+    target_utilisation: float = 0.70
+    scale_up_threshold: float = 0.85
+    scale_down_threshold: float = 0.40
+    min_containers: int = 1
+    max_containers: int = 40
+    max_step: int = 4
+    cooldown: float = 30.0
+
+    def __post_init__(self):
+        if not 0 < self.scale_down_threshold < self.target_utilisation < self.scale_up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy down < target < up <= 1")
+        if self.min_containers < 1 or self.max_containers < self.min_containers:
+            raise ValueError("bad container bounds")
+        if self.sessions_per_container < 1:
+            raise ValueError("sessions_per_container must be >= 1")
+
+
+@dataclass
+class ScalingDecision:
+    """One autoscaling action at one PoP."""
+
+    time: float
+    pop_id: str
+    from_containers: int
+    to_containers: int
+    utilisation: float
+
+    @property
+    def direction(self) -> str:
+        if self.to_containers > self.from_containers:
+            return "up"
+        if self.to_containers < self.from_containers:
+            return "down"
+        return "none"
+
+
+class ProxyAutoscaler:
+    """Scales proxy containers per PoP toward the target utilisation."""
+
+    def __init__(self, policy: Optional[AutoscalerPolicy] = None):
+        self.policy = policy or AutoscalerPolicy()
+        self._containers: Dict[str, int] = {}
+        self._last_scaled: Dict[str, float] = {}
+        self.decisions: List[ScalingDecision] = []
+
+    def containers(self, pop_id: str) -> int:
+        return self._containers.get(pop_id, self.policy.min_containers)
+
+    def capacity(self, pop_id: str) -> int:
+        """Sessions the PoP's current containers can hold."""
+        return self.containers(pop_id) * self.policy.sessions_per_container
+
+    def utilisation(self, pop: PopNode) -> float:
+        cap = self.capacity(pop.pop_id)
+        return pop.active_sessions / cap if cap else math.inf
+
+    def _desired(self, pop: PopNode) -> int:
+        """Containers needed to sit at the target utilisation."""
+        wanted = pop.active_sessions / (
+            self.policy.sessions_per_container * self.policy.target_utilisation
+        )
+        return max(self.policy.min_containers, min(self.policy.max_containers, math.ceil(wanted)))
+
+    def evaluate(self, pop: PopNode, now: float) -> Optional[ScalingDecision]:
+        """One control-loop tick for one PoP; returns the action, if any."""
+        pop_id = pop.pop_id
+        current = self.containers(pop_id)
+        util = self.utilisation(pop)
+        last = self._last_scaled.get(pop_id, -math.inf)
+        if now - last < self.policy.cooldown:
+            return None
+        if self.policy.scale_down_threshold <= util <= self.policy.scale_up_threshold:
+            return None
+        desired = self._desired(pop)
+        if desired == current:
+            return None
+        # rate-limit the step
+        step = max(-self.policy.max_step, min(self.policy.max_step, desired - current))
+        target = current + step
+        self._containers[pop_id] = target
+        self._last_scaled[pop_id] = now
+        decision = ScalingDecision(now, pop_id, current, target, util)
+        self.decisions.append(decision)
+        # containers determine what the PoP can admit
+        pop.capacity_sessions = target * self.policy.sessions_per_container
+        return decision
+
+    def evaluate_fleet(self, pops: List[PopNode], now: float) -> List[ScalingDecision]:
+        """Tick every PoP; returns the actions taken."""
+        out = []
+        for pop in pops:
+            decision = self.evaluate(pop, now)
+            if decision is not None:
+                out.append(decision)
+        return out
+
+    def total_containers(self) -> int:
+        return sum(self._containers.values()) if self._containers else 0

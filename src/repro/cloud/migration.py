@@ -1,0 +1,145 @@
+"""Server migration (§10, future work).
+
+The paper notes a limitation: once a CPE picks an edge proxy the server
+stays fixed, but a vehicle that covers a large area eventually wants to
+migrate to a closer PoP (RFC 9000 doesn't allow server migration, though
+extensions can).  This module implements the controller-orchestrated
+migration the discussion sketches:
+
+* the CPE periodically reports its position-implied access delay to the
+  candidate PoPs;
+* when a better PoP has beaten the current one by ``improvement_ms`` for
+  ``hold_s`` seconds (hysteresis against flapping), the controller
+  orchestrates a make-before-break switch: the new tunnel is established
+  while the old one still carries traffic, then traffic flips over;
+* the brief switch-over gap is modelled explicitly so experiments can
+  quantify the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .controller import Controller
+from .pop import PopNode
+
+#: Default hysteresis: the candidate must be 1.5 ms closer for 5 s.  At
+#: ~5 us of fibre delay per km, 1.5 ms corresponds to moving ~300 km
+#: closer to another PoP — a genuine region change, not jitter.
+DEFAULT_IMPROVEMENT = 0.0015
+DEFAULT_HOLD = 5.0
+#: Make-before-break switch-over gap (new-path handshake already done;
+#: this is the route-flip interval during which packets may reorder).
+SWITCHOVER_GAP = 0.050
+
+
+@dataclass
+class MigrationEvent:
+    """One completed migration."""
+
+    time: float
+    from_pop: str
+    to_pop: str
+    improvement: float
+    gap: float
+
+
+class MigrationManager:
+    """Tracks one vehicle's proxy assignment and migrates it when a
+    consistently-closer PoP exists."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        device_id: str,
+        token: str,
+        improvement: float = DEFAULT_IMPROVEMENT,
+        hold: float = DEFAULT_HOLD,
+        candidates: int = 5,
+    ):
+        if improvement <= 0 or hold <= 0:
+            raise ValueError("improvement and hold must be positive")
+        self.controller = controller
+        self.device_id = device_id
+        self.token = token
+        self.improvement = improvement
+        self.hold = hold
+        self.candidates = candidates
+        self.events: List[MigrationEvent] = []
+        self._better_since: Optional[float] = None
+        self._better_pop: Optional[str] = None
+
+    @property
+    def current_pop(self) -> Optional[str]:
+        return self.controller.assigned_pop(self.device_id)
+
+    def observe(self, vehicle_location: Tuple[float, float], now: float) -> Optional[MigrationEvent]:
+        """Feed one position sample; returns a MigrationEvent when the
+        hysteresis condition fires and migration executes."""
+        current_id = self.current_pop
+        if current_id is None:
+            return None
+        pops = {p.pop_id: p for p in self.controller.pops()}
+        current = pops.get(current_id)
+        if current is None:
+            return None
+        current_delay = current.access_delay(vehicle_location)
+
+        candidates = self.controller.candidate_proxies(self.device_id, self.token, self.candidates)
+        best = None
+        best_delay = current_delay
+        for pop in candidates:
+            if pop.pop_id == current_id:
+                continue
+            d = pop.access_delay(vehicle_location)
+            if d < best_delay - self.improvement:
+                if best is None or d < best_delay:
+                    best = pop
+                    best_delay = d
+        if best is None:
+            self._better_since = None
+            self._better_pop = None
+            return None
+        # hysteresis: the same candidate must stay better for `hold`
+        if self._better_pop != best.pop_id:
+            self._better_pop = best.pop_id
+            self._better_since = now
+            return None
+        if now - self._better_since < self.hold:
+            return None
+        # migrate: make-before-break via the controller
+        self.controller.assign(self.device_id, best.pop_id)
+        event = MigrationEvent(
+            time=now,
+            from_pop=current_id,
+            to_pop=best.pop_id,
+            improvement=current_delay - best_delay,
+            gap=SWITCHOVER_GAP,
+        )
+        self.events.append(event)
+        self._better_since = None
+        self._better_pop = None
+        return event
+
+
+def drive_with_migration(
+    controller: Controller,
+    device_id: str,
+    token: str,
+    route: List[Tuple[float, float]],
+    sample_interval: float = 1.0,
+    manager: Optional[MigrationManager] = None,
+) -> List[MigrationEvent]:
+    """Replay a route through the migration manager; returns its events.
+
+    ``route`` is a list of (x, y) km positions sampled every
+    ``sample_interval`` seconds.
+    """
+    mgr = manager or MigrationManager(controller, device_id, token)
+    events = []
+    for i, pos in enumerate(route):
+        ev = mgr.observe(pos, now=i * sample_interval)
+        if ev is not None:
+            events.append(ev)
+    return events

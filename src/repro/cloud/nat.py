@@ -1,0 +1,103 @@
+"""Source-NAT tables for the multi-tenant proxy (§6.2).
+
+CellFusion applies NAT twice: once at the CPE's tun interface (every LAN
+flow of a vehicle is rewritten to the vehicle's controller-allocated
+private address) and once at the proxy's public interface (so return
+traffic from the cloud app routes back to the proxy).  This module
+implements the generic port-allocating SNAT used at both places, plus the
+address-pool allocator the controller uses to hand out per-CPE tun
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+FlowKey = Tuple[int, str, int]  # (proto, ip, port)
+
+
+class NatError(Exception):
+    """Translation failures (pool exhausted, unknown reverse mapping)."""
+
+
+class SnatTable:
+    """Port-translating source NAT.
+
+    Forward: (proto, private_ip, private_port) -> public port on
+    ``public_ip``.  Reverse: public port -> the original endpoint.
+    """
+
+    def __init__(self, public_ip: str, port_base: int = 20000, port_count: int = 40000):
+        if port_count <= 0:
+            raise ValueError("port_count must be positive")
+        self.public_ip = public_ip
+        self._port_base = port_base
+        self._port_count = port_count
+        self._next = 0
+        self._forward: Dict[FlowKey, int] = {}
+        self._reverse: Dict[Tuple[int, int], Tuple[str, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def translate(self, proto: int, src_ip: str, src_port: int) -> Tuple[str, int]:
+        """Map a private endpoint to (public_ip, public_port), allocating
+        a port on first use."""
+        key = (proto, src_ip, src_port)
+        port = self._forward.get(key)
+        if port is None:
+            if len(self._forward) >= self._port_count:
+                raise NatError("SNAT port pool exhausted")
+            for _ in range(self._port_count):
+                candidate = self._port_base + self._next
+                self._next = (self._next + 1) % self._port_count
+                if (proto, candidate) not in self._reverse:
+                    port = candidate
+                    break
+            if port is None:
+                raise NatError("SNAT port pool exhausted")
+            self._forward[key] = port
+            self._reverse[(proto, port)] = (src_ip, src_port)
+        return self.public_ip, port
+
+    def reverse(self, proto: int, public_port: int) -> Tuple[str, int]:
+        """Original endpoint for return traffic hitting ``public_port``."""
+        try:
+            return self._reverse[(proto, public_port)]
+        except KeyError:
+            raise NatError("no SNAT mapping for proto %d port %d" % (proto, public_port))
+
+    def release(self, proto: int, src_ip: str, src_port: int) -> None:
+        port = self._forward.pop((proto, src_ip, src_port), None)
+        if port is not None:
+            self._reverse.pop((proto, port), None)
+
+
+class TunAddressPool:
+    """Controller-side allocator of unique per-CPE tun addresses (§6.2)."""
+
+    def __init__(self, prefix: str = "10.64", size: int = 65000):
+        self.prefix = prefix
+        self.size = size
+        self._by_device: Dict[str, str] = {}
+        self._used = 0
+
+    def allocate(self, device_id: str) -> str:
+        """Idempotently allocate one private address per device."""
+        addr = self._by_device.get(device_id)
+        if addr is not None:
+            return addr
+        if self._used >= self.size:
+            raise NatError("tun address pool exhausted")
+        idx = self._used + 2  # skip .0/.1
+        self._used += 1
+        addr = "%s.%d.%d" % (self.prefix, idx // 250, idx % 250)
+        self._by_device[device_id] = addr
+        return addr
+
+    def lookup(self, device_id: str) -> Optional[str]:
+        return self._by_device.get(device_id)
+
+    def release(self, device_id: str) -> None:
+        self._by_device.pop(device_id, None)

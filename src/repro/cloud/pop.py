@@ -1,0 +1,73 @@
+"""CDN Point-of-Presence model (§6, §7).
+
+CellFusion's back-end ran proxy containers on 50 CDN PoPs across three
+states.  A :class:`PopNode` captures what the control plane cares about:
+location (for access delay), capacity, current load, and health.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Rough propagation constant: one-way delay grows ~5 us per km of fibre
+#: plus a fixed last-mile constant.
+FIBRE_DELAY_PER_KM = 5e-6
+LAST_MILE_DELAY = 0.008
+
+
+@dataclass
+class PopNode:
+    """One CDN PoP hosting CellFusion proxy containers."""
+
+    pop_id: str
+    region: str
+    location: Tuple[float, float]  # km coordinates on a flat map
+    capacity_sessions: int = 200
+    active_sessions: int = 0
+    healthy: bool = True
+    last_heartbeat: float = 0.0
+
+    def __post_init__(self):
+        if self.capacity_sessions <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def load(self) -> float:
+        """Utilisation in [0, 1+] (can exceed 1 when over-subscribed)."""
+        return self.active_sessions / self.capacity_sessions
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.healthy and self.active_sessions < self.capacity_sessions
+
+    def distance_km(self, point: Tuple[float, float]) -> float:
+        dx = self.location[0] - point[0]
+        dy = self.location[1] - point[1]
+        return math.hypot(dx, dy)
+
+    def access_delay(self, vehicle_location: Tuple[float, float]) -> float:
+        """Modelled one-way network delay from a vehicle to this PoP."""
+        return LAST_MILE_DELAY + self.distance_km(vehicle_location) * FIBRE_DELAY_PER_KM
+
+    def admit(self) -> None:
+        self.active_sessions += 1
+
+    def release(self) -> None:
+        self.active_sessions = max(0, self.active_sessions - 1)
+
+
+def default_pop_grid(per_region: int = 17, regions: Tuple[str, ...] = ("state-A", "state-B", "state-C")) -> list:
+    """A ~50-PoP deployment across three states (the paper's footprint)."""
+    pops = []
+    for r, region in enumerate(regions):
+        for i in range(per_region):
+            pops.append(
+                PopNode(
+                    pop_id="%s-pop%02d" % (region, i),
+                    region=region,
+                    location=(r * 400.0 + (i % 5) * 60.0, (i // 5) * 60.0),
+                )
+            )
+    return pops

@@ -1,0 +1,147 @@
+"""The multi-tenant edge proxy (tunnel-server host, §6.2).
+
+One proxy container serves many vehicles.  Uplink: a QUIC connection
+(identified by CID) delivers decoded IP packets whose source address is
+the CPE's controller-allocated tun address; the proxy learns the
+address<->CID mapping, applies Source-NAT at its public interface, and
+forwards toward the cloud app.  Downlink: return traffic hits the public
+address, the SNAT reverse mapping restores the tenant address, the
+address->CID table picks the right QUIC connection, and the packet rides
+the tunnel back to the vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..netstack.ip import IpError, Ipv4Packet, PROTO_UDP, UDP_HEADER, UDP_HEADER_SIZE
+from .nat import NatError, SnatTable
+from .pop import PopNode
+
+
+@dataclass
+class ProxyStats:
+    uplink_packets: int = 0
+    downlink_packets: int = 0
+    forwarded_bytes: int = 0
+    unknown_tenant_drops: int = 0
+    nat_errors: int = 0
+    parse_errors: int = 0
+
+
+class ProxyServer:
+    """One CellFusion proxy container at a CDN PoP."""
+
+    def __init__(
+        self,
+        pop: PopNode,
+        public_ip: str,
+        forward_to_cloud: Optional[Callable[[bytes], None]] = None,
+        send_to_vehicle: Optional[Callable[[int, bytes], None]] = None,
+    ):
+        self.pop = pop
+        self.public_ip = public_ip
+        self.forward_to_cloud = forward_to_cloud
+        self.send_to_vehicle = send_to_vehicle
+        self.snat = SnatTable(public_ip)
+        #: tenant tun address -> QUIC connection id (§6.2 mapping table)
+        self._cid_by_address: Dict[str, int] = {}
+        self._address_by_cid: Dict[int, str] = {}
+        self.stats = ProxyStats()
+
+    @property
+    def tenant_count(self) -> int:
+        return len(self._cid_by_address)
+
+    def register_tenant(self, tun_address: str, cid: int) -> None:
+        """Bind a CPE's allocated address to its QUIC connection."""
+        old = self._address_by_cid.pop(cid, None)
+        if old is not None:
+            self._cid_by_address.pop(old, None)
+        self._cid_by_address[tun_address] = cid
+        self._address_by_cid[cid] = tun_address
+
+    def remove_tenant(self, cid: int) -> None:
+        addr = self._address_by_cid.pop(cid, None)
+        if addr is not None:
+            self._cid_by_address.pop(addr, None)
+
+    # -- uplink: vehicle -> cloud -------------------------------------------------
+
+    def process_uplink(self, cid: int, ip_bytes: bytes) -> Optional[bytes]:
+        """Decapsulated tunnel packet from a vehicle: learn, SNAT, forward."""
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            self.stats.parse_errors += 1
+            return None
+        # learn (or re-learn after CID rotation) the address<->CID binding
+        known = self._address_by_cid.get(cid)
+        if known != packet.src:
+            self.register_tenant(packet.src, cid)
+        translated = self._snat_outbound(packet)
+        if translated is None:
+            return None
+        self.stats.uplink_packets += 1
+        self.stats.forwarded_bytes += len(translated)
+        if self.forward_to_cloud is not None:
+            self.forward_to_cloud(translated)
+        return translated
+
+    def _snat_outbound(self, packet: Ipv4Packet) -> Optional[bytes]:
+        if packet.proto != PROTO_UDP or len(packet.payload) < UDP_HEADER_SIZE:
+            # non-UDP passenger protocols are forwarded with address-only
+            # NAT (no port rewrite) — enough for the simulation's traffic
+            rewritten = Ipv4Packet(
+                src=self.public_ip, dst=packet.dst, proto=packet.proto,
+                payload=packet.payload, identification=packet.identification, ttl=packet.ttl - 1,
+            )
+            return rewritten.encode()
+        sport, dport, length, _csum = UDP_HEADER.unpack_from(packet.payload)
+        try:
+            pub_ip, pub_port = self.snat.translate(PROTO_UDP, packet.src, sport)
+        except NatError:
+            self.stats.nat_errors += 1
+            return None
+        udp = UDP_HEADER.pack(pub_port, dport, length, 0) + packet.payload[UDP_HEADER_SIZE:]
+        rewritten = Ipv4Packet(
+            src=pub_ip, dst=packet.dst, proto=PROTO_UDP, payload=udp,
+            identification=packet.identification, ttl=packet.ttl - 1,
+        )
+        return rewritten.encode()
+
+    # -- downlink: cloud -> vehicle ---------------------------------------------------
+
+    def process_return(self, ip_bytes: bytes) -> Optional[Tuple[int, bytes]]:
+        """Return traffic at the public interface: un-NAT, find CID, send."""
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            self.stats.parse_errors += 1
+            return None
+        if packet.dst != self.public_ip:
+            self.stats.unknown_tenant_drops += 1
+            return None
+        if packet.proto != PROTO_UDP or len(packet.payload) < UDP_HEADER_SIZE:
+            self.stats.unknown_tenant_drops += 1
+            return None
+        sport, dport, length, _csum = UDP_HEADER.unpack_from(packet.payload)
+        try:
+            tenant_ip, tenant_port = self.snat.reverse(PROTO_UDP, dport)
+        except NatError:
+            self.stats.nat_errors += 1
+            return None
+        cid = self._cid_by_address.get(tenant_ip)
+        if cid is None:
+            self.stats.unknown_tenant_drops += 1
+            return None
+        udp = UDP_HEADER.pack(sport, tenant_port, length, 0) + packet.payload[UDP_HEADER_SIZE:]
+        restored = Ipv4Packet(
+            src=packet.src, dst=tenant_ip, proto=PROTO_UDP, payload=udp,
+            identification=packet.identification, ttl=packet.ttl - 1,
+        ).encode()
+        self.stats.downlink_packets += 1
+        if self.send_to_vehicle is not None:
+            self.send_to_vehicle(cid, restored)
+        return cid, restored

@@ -1,0 +1,62 @@
+"""Shared pseudo-random coefficient generation for Q-RLNC.
+
+Per §4.3.2, the sender and receiver initialise two identical PRNGs at
+connection negotiation so that an encoded packet only needs to carry a
+32-bit ``randomSeed`` instead of the full coefficient vector.  The sequence
+derived from seed ``s`` is ``{g_s(1), g_s(2), ...}`` with every value drawn
+uniformly from GF(2^8) \\ {0}.
+
+Appendix A additionally folds the first coefficient to 1: with every
+``a_i`` i.i.d. uniform on GF(256)\\{0}, the combination ``sum a_i p_i`` has
+the same distribution as ``a_0 (p_0 + sum b_i p_i)`` with ``b_i`` uniform on
+GF(256)\\{0} — so XNC encodes ``p = p_k + sum_{i>=1} g_s(i) p_{k+i}`` and
+saves one packet-sized multiply per coded packet.  ``coefficient_vector``
+implements exactly that convention: index 0 is always 1.
+"""
+
+from __future__ import annotations
+
+#: Multiplier/modulus of a Lehmer (MINSTD) generator.  Any PRNG works as
+#: long as both ends agree; MINSTD is trivially portable across languages,
+#: matching the paper's portability goal for the C implementation.
+_MINSTD_A = 48271
+_MINSTD_M = 2147483647
+
+
+class CoefficientGenerator:
+    """Deterministic stream of GF(256)\\{0} coefficients for one seed.
+
+    Both tunnel endpoints construct this from the negotiated connection
+    parameters; equality of output streams is what lets the 12-byte
+    XNC_Header replace an explicit coefficient vector.
+    """
+
+    def __init__(self, seed: int):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        # avoid the MINSTD fixed point at state 0
+        self._state = (seed % _MINSTD_M) or 1
+        self.seed = seed
+
+    def next_coefficient(self) -> int:
+        """Next coefficient, uniform over 1..255."""
+        # Lehmer step, then map to 1..255.  Using the high bits keeps the
+        # distribution close to uniform (bias < 2^-23, irrelevant for rank
+        # statistics at these sizes).
+        self._state = (self._state * _MINSTD_A) % _MINSTD_M
+        return (self._state >> 8) % 255 + 1
+
+
+def coefficient_vector(seed: int, count: int) -> list[int]:
+    """Coefficients for a coded packet over ``count`` original packets.
+
+    Returns ``[1, g_s(1), ..., g_s(count-1)]`` — the Appendix A form where
+    the leading coefficient is folded to 1.  For ``count == 1`` the seed is
+    ignored (the packet is an uncoded original, §4.3.2).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if count == 1:
+        return [1]
+    gen = CoefficientGenerator(seed)
+    return [1] + [gen.next_coefficient() for _ in range(count - 1)]

@@ -1,0 +1,287 @@
+"""XNC tunnel endpoints: the paper's transport, end to end (§4).
+
+:class:`XncTunnelClient` is the CPE-side sender.  Per Fig. 7 and §4.4–§4.5:
+
+* every application packet is registered in the encoder pool, then
+  forwarded immediately as an uncoded XNC_NC frame (``n = 1``) on the
+  min-RTT path — coding never delays first transmissions;
+* a QoE-aware scan marks packets lost once unacknowledged for
+  ``min(app_threshold, PTO)``;
+* detected losses are partitioned into contiguous ranges (r packets /
+  t seconds / frame borders) and recovered in one opportunistic shot:
+  ``n' = n + 3`` random linear combinations spread over every usable
+  path's spare window;
+* ranges expire after ``t_expire`` — stale video is abandoned, never
+  retransmitted.
+
+:class:`XncTunnelServer` is the proxy-side receiver: XNC_NC payloads feed
+the incremental RLNC decoder and recovered packets are handed to the
+``on_app_packet`` sink in whatever order they decode (the tunnel carries
+IP packets; order is the application's business).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+
+from ..emulation.emulator import MultipathEmulator
+from ..emulation.events import EventLoop
+from ..multipath.path import PathManager
+from ..multipath.scheduler.base import Scheduler
+from ..multipath.scheduler.minrtt import MinRttScheduler
+from ..transport.base import AppPacket, SentInfo, TunnelClientBase, TunnelServerBase
+from .frames import XncNcFrame
+from .loss_detection import QoeLossPolicy
+from .ranges import EncodeRange, LostPacket, RangePolicy, RetransmissionQueue
+from .recovery import PathBudget, RecoveryPolicy, plan_recovery, recovery_seeds
+from .rlnc import RlncDecoder, RlncEncoder
+
+
+@dataclass
+class XncConfig:
+    """All XNC tuning knobs in one place (paper defaults)."""
+
+    loss_policy: QoeLossPolicy = None
+    range_policy: RangePolicy = None
+    recovery_policy: RecoveryPolicy = None
+    simd: bool = True
+    seed: int = 7
+    #: Ablation switch: retransmit plain originals instead of coded
+    #: packets (the "w/o Q-RLNC" arm of Fig. 13(a)).
+    coding_enabled: bool = True
+    #: Best-effort RTP sniffing for frame borders (§4.4.2's optional third
+    #: condition): used only when the app doesn't tag frames explicitly,
+    #: and silently off for unrecognisable (e.g. encrypted) traffic.
+    sniff_rtp: bool = True
+
+    def __post_init__(self):
+        if self.loss_policy is None:
+            self.loss_policy = QoeLossPolicy()
+        if self.range_policy is None:
+            self.range_policy = RangePolicy()
+        if self.recovery_policy is None:
+            self.recovery_policy = RecoveryPolicy()
+
+
+@dataclass
+class _AppMeta:
+    frame_id: Optional[int]
+    first_sent: float
+    delivered: bool = False
+    forgotten: bool = False
+
+
+class XncTunnelClient(TunnelClientBase):
+    """CPE-side XNC sender over unreliable multipath QUIC-Datagram."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        paths: PathManager,
+        config: Optional[XncConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        super().__init__(loop, emulator, paths, scheduler or MinRttScheduler())
+        self.config = config or XncConfig()
+        self.encoder = RlncEncoder(simd=self.config.simd)
+        self.retrans_queue = RetransmissionQueue(self.config.range_policy)
+        self._seed_rng = random.Random(self.config.seed)
+        self._app_meta: Dict[int, _AppMeta] = {}
+        self._pool_order: Deque[Tuple[int, float]] = deque()
+        self.recoveries_executed = 0
+        self.recoveries_delayed = 0
+        self.ranges_expired = 0
+
+    # -- ingress / first transmission -----------------------------------------
+
+    def _on_app_packet_queued(self, pkt: AppPacket) -> None:
+        self.encoder.register(pkt.packet_id, pkt.payload, self.loop.now)
+        self._pool_order.append((pkt.packet_id, self.loop.now))
+        frame_id = pkt.frame_id
+        if frame_id is None and self.config.sniff_rtp:
+            from ..video.rtp import sniff_frame_id
+
+            frame_id = sniff_frame_id(pkt.payload)
+        self._app_meta[pkt.packet_id] = _AppMeta(frame_id, self.loop.now)
+
+    def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
+        framed = self.encoder.encode(pkt.packet_id, 1, 0)
+        return XncNcFrame.original(pkt.packet_id, framed)
+
+    def _transmit_frame(self, path, frame, app_ids, is_recovery, is_dup=False, is_retx=False):
+        info = super()._transmit_frame(path, frame, app_ids, is_recovery, is_dup, is_retx)
+        if not is_recovery:
+            for app_id in app_ids:
+                meta = self._app_meta.get(app_id)
+                if meta is not None:
+                    meta.first_sent = info.sent_time
+        return info
+
+    def _queue_entry_stale(self, pkt: AppPacket, now: float) -> bool:
+        # a packet queued past t_expire is stale video; sending it would
+        # only delay fresh frames (§4.4.3 applied at the source queue)
+        return now - pkt.enqueue_time > self.config.range_policy.t_expire
+
+    def _on_queue_entry_dropped(self, pkt: AppPacket) -> None:
+        self.encoder.release(pkt.packet_id)
+        meta = self._app_meta.get(pkt.packet_id)
+        if meta is not None:
+            meta.forgotten = True
+
+    # -- delivery / QoE loss detection -----------------------------------------
+
+    def _on_app_acked(self, app_ids: Sequence[int], info: SentInfo) -> None:
+        for app_id in app_ids:
+            meta = self._app_meta.get(app_id)
+            if meta is None or meta.delivered:
+                continue
+            meta.delivered = True
+            self.retrans_queue.discard(app_id)
+            self.encoder.release(app_id)
+
+    def _qoe_scan(self, now: float) -> None:
+        """Mark overdue in-flight packets lost per min(app_threshold, PTO)."""
+        for path in self.paths:
+            threshold = self.config.loss_policy.threshold(*path.rtt.as_tuple())
+            for info in self.in_flight_infos(path.path_id):
+                if info.is_recovery or info.qoe_fired:
+                    continue
+                if now - info.sent_time < threshold:
+                    continue
+                info.qoe_fired = True
+                for app_id in info.app_ids:
+                    meta = self._app_meta.get(app_id)
+                    if meta is None or meta.delivered or meta.forgotten:
+                        continue
+                    self.retrans_queue.add(
+                        LostPacket(app_id, info.sent_time, meta.frame_id)
+                    )
+
+    def _on_cc_lost(self, info: SentInfo, now: float) -> None:
+        # cc-level loss implies the QoE threshold has long passed; make sure
+        # the app packets are queued for recovery if still fresh
+        for app_id in info.app_ids:
+            meta = self._app_meta.get(app_id)
+            if meta is None or meta.delivered or meta.forgotten:
+                continue
+            self.retrans_queue.add(LostPacket(app_id, info.sent_time, meta.frame_id))
+
+    # -- opportunistic one-shot recovery -----------------------------------------
+
+    def _path_budgets(self, now: float) -> list:
+        budgets = []
+        for path in self.paths:
+            budgets.append(
+                PathBudget(
+                    path_id=path.path_id,
+                    available_window=path.cc.available_packets(),
+                    usable=path.is_usable(now),
+                )
+            )
+        return budgets
+
+    def _attempt_recoveries(self, now: float) -> None:
+        expired_before = self.retrans_queue.expired_packets
+        ranges = self.retrans_queue.ranges(now)
+        newly_expired = self.retrans_queue.expired_packets - expired_before
+        if newly_expired:
+            self.stats.expired_packets += newly_expired
+            self.ranges_expired += 1
+        for rng in ranges:
+            plan = plan_recovery(rng.count, self._path_budgets(now), self.config.recovery_policy)
+            if plan is None:
+                self.recoveries_delayed += 1
+                continue
+            self._execute_plan(rng, plan)
+
+    def _execute_plan(self, rng: EncodeRange, plan) -> None:
+        self.recoveries_executed += 1
+        if rng.count == 1 or not self.config.coding_enabled:
+            self._send_uncoded_recovery(rng, plan)
+        else:
+            seeds = recovery_seeds(plan.total_packets, self._seed_rng)
+            cursor = 0
+            for alloc in plan.allocations:
+                path = self.paths.get(alloc.path_id)
+                for _ in range(alloc.packets):
+                    payload = self.encoder.encode(rng.start_id, rng.count, seeds[cursor])
+                    frame = XncNcFrame.coded(rng.start_id, rng.count, seeds[cursor], payload)
+                    self._transmit_frame(
+                        path, frame, tuple(rng.packet_ids()), is_recovery=True
+                    )
+                    cursor += 1
+        # one-shot: forget the packets involved (§4.5.2)
+        self.retrans_queue.pop_range(rng)
+        for app_id in rng.packet_ids():
+            meta = self._app_meta.get(app_id)
+            if meta is not None:
+                meta.forgotten = True
+
+    def _send_uncoded_recovery(self, rng: EncodeRange, plan) -> None:
+        """n == 1 fast path and the w/o-Q-RLNC ablation: plain originals."""
+        for alloc in plan.allocations:
+            path = self.paths.get(alloc.path_id)
+            budget = alloc.packets
+            ids = list(rng.packet_ids())
+            for i in range(budget):
+                app_id = ids[i % len(ids)]
+                if not self.encoder.contains(app_id):
+                    continue
+                framed = self.encoder.encode(app_id, 1, 0)
+                frame = XncNcFrame.original(app_id, framed)
+                self._transmit_frame(path, frame, (app_id,), is_recovery=True)
+
+    # -- housekeeping -----------------------------------------------------------
+
+    def _on_tick_hook(self, now: float) -> None:
+        self._qoe_scan(now)
+        self._attempt_recoveries(now)
+        self._trim_pool(now)
+
+    def _trim_pool(self, now: float) -> None:
+        horizon = self.config.range_policy.t_expire * 2 + 0.5
+        while self._pool_order and now - self._pool_order[0][1] > horizon:
+            app_id, _t = self._pool_order.popleft()
+            self.encoder.release(app_id)
+            self._app_meta.pop(app_id, None)
+
+
+class XncTunnelServer(TunnelServerBase):
+    """Proxy-side XNC receiver: decode and forward."""
+
+    #: Open decoder ranges older than this are abandoned (their packets
+    #: expired at the sender anyway).
+    RANGE_GC_HORIZON = 2.0
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        on_app_packet: Callable[[int, bytes, float], None],
+        connection_id: int = 0,
+    ):
+        super().__init__(loop, emulator, on_app_packet, connection_id=connection_id)
+        self.decoder = RlncDecoder()
+        self._range_first_seen: Dict[Tuple[int, int], float] = {}
+        self._gc_counter = 0
+
+    def _handle_frame(self, path_id: int, frame: XncNcFrame, now: float) -> None:
+        h = frame.header
+        key = (h.start_id, h.packet_count)
+        if h.is_coded and key not in self._range_first_seen:
+            self._range_first_seen[key] = now
+        for packet_id, payload in self.decoder.push(h.start_id, h.packet_count, h.random_seed, frame.payload):
+            self.on_app_packet(packet_id, payload, now)
+        self._gc_counter += 1
+        if self._gc_counter % 512 == 0:
+            self._gc_ranges(now)
+
+    def _gc_ranges(self, now: float) -> None:
+        for key in list(self._range_first_seen):
+            if now - self._range_first_seen[key] > self.RANGE_GC_HORIZON:
+                self.decoder.expire_range(*key)
+                del self._range_first_seen[key]

@@ -1,0 +1,135 @@
+"""XNC wire format (§4.3.2, Fig. 6).
+
+XNC extends QUIC's DATAGRAM frame family with a network-coded variant:
+
+* ``0x30`` / ``0x31`` — standard QUIC-Datagram frames (RFC 9221), without
+  and with an explicit length field.
+* ``0x32`` — ``XNC_NC``: a 12-byte ``XNC_Header`` of three 32-bit fields
+  (``packetCount``, ``randomSeed``, ``startID``) followed by the coded
+  payload.
+
+``packetCount == 1`` marks an uncoded original packet (``randomSeed`` is
+carried but ignored).  The header is deliberately fixed-size so the CPE's
+encoder can write it without branching.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: QUIC-Datagram frame types (RFC 9221).
+FRAME_DATAGRAM = 0x30
+FRAME_DATAGRAM_LEN = 0x31
+#: XNC's network-coded datagram frame type.
+FRAME_XNC_NC = 0x32
+
+#: XNC_Header layout: packetCount, randomSeed, startID — three u32s.
+XNC_HEADER = struct.Struct("!III")
+XNC_HEADER_SIZE = XNC_HEADER.size
+
+
+class FrameError(Exception):
+    """Malformed frame bytes."""
+
+
+@dataclass(frozen=True)
+class XncHeader:
+    """The (packetCount, randomSeed, startID) triple of Fig. 6."""
+
+    packet_count: int
+    random_seed: int
+    start_id: int
+
+    def __post_init__(self):
+        for name in ("packet_count", "random_seed", "start_id"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError("%s out of u32 range: %r" % (name, value))
+        if self.packet_count < 1:
+            raise ValueError("packet_count must be >= 1")
+
+    @property
+    def is_coded(self) -> bool:
+        return self.packet_count > 1
+
+    def pack(self) -> bytes:
+        return XNC_HEADER.pack(self.packet_count, self.random_seed, self.start_id)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XncHeader":
+        if len(data) < XNC_HEADER_SIZE:
+            raise FrameError("truncated XNC_Header")
+        count, seed, start = XNC_HEADER.unpack_from(data)
+        return cls(count, seed, start)
+
+
+@dataclass(frozen=True)
+class XncNcFrame:
+    """One XNC_NC frame: header plus coded (or original) payload."""
+
+    header: XncHeader
+    payload: bytes
+
+    @classmethod
+    def original(cls, packet_id: int, payload: bytes) -> "XncNcFrame":
+        """Frame for a first-time transmission (systematic, n = 1)."""
+        return cls(XncHeader(1, 0, packet_id), payload)
+
+    @classmethod
+    def coded(cls, start_id: int, count: int, seed: int, payload: bytes) -> "XncNcFrame":
+        """Frame for a recovery packet over ``count`` lost originals."""
+        if count < 2:
+            raise ValueError("coded frames need count >= 2; use original()")
+        return cls(XncHeader(count, seed, start_id), payload)
+
+    def encode(self) -> bytes:
+        """Serialise as frame-type byte + length + header + payload."""
+        body = self.header.pack() + self.payload
+        return bytes([FRAME_XNC_NC]) + struct.pack("!H", len(body)) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["XncNcFrame", int]:
+        """Parse one frame from ``data``; returns (frame, bytes consumed)."""
+        if not data:
+            raise FrameError("empty buffer")
+        if data[0] != FRAME_XNC_NC:
+            raise FrameError("not an XNC_NC frame: type 0x%02x" % data[0])
+        if len(data) < 3:
+            raise FrameError("truncated frame length")
+        (length,) = struct.unpack_from("!H", data, 1)
+        end = 3 + length
+        if len(data) < end:
+            raise FrameError("truncated frame body")
+        body = data[3:end]
+        header = XncHeader.unpack(body)
+        return cls(header, body[XNC_HEADER_SIZE:]), end
+
+    @property
+    def wire_size(self) -> int:
+        """Total serialised size including type and length bytes."""
+        return 3 + XNC_HEADER_SIZE + len(self.payload)
+
+
+def encode_datagram_frame(payload: bytes, with_length: bool = True) -> bytes:
+    """Serialise a plain RFC 9221 DATAGRAM frame."""
+    if with_length:
+        return bytes([FRAME_DATAGRAM_LEN]) + struct.pack("!H", len(payload)) + payload
+    return bytes([FRAME_DATAGRAM]) + payload
+
+
+def decode_datagram_frame(data: bytes) -> tuple[bytes, int]:
+    """Parse a DATAGRAM frame; returns (payload, bytes consumed)."""
+    if not data:
+        raise FrameError("empty buffer")
+    if data[0] == FRAME_DATAGRAM:
+        return data[1:], len(data)
+    if data[0] == FRAME_DATAGRAM_LEN:
+        if len(data) < 3:
+            raise FrameError("truncated datagram length")
+        (length,) = struct.unpack_from("!H", data, 1)
+        end = 3 + length
+        if len(data) < end:
+            raise FrameError("truncated datagram body")
+        return data[3:end], end
+    raise FrameError("not a DATAGRAM frame: type 0x%02x" % data[0])

@@ -1,0 +1,204 @@
+"""Opportunistic one-shot recovery (§4.5).
+
+For a range of ``n`` detected-lost packets, XNC computes the coded-packet
+count ``n'`` needed for near-certain decoding, checks whether the paths'
+instantaneous spare congestion windows can carry it, and — if so — spreads
+coded packets across *all* usable paths proportionally to each path's
+available window, capped per path below ``rho * n'``.  The recovery is
+one-shot: afterwards the sender forgets the range entirely; if the coded
+packets are themselves lost the range simply expires (§4.4.3).
+
+``n' = n + 3`` when ``n > 1`` (Theorem 4.1 puts the decode-failure
+probability below ``1/(255^3 * 254)`` at ``k = 3``); ``n' = 1`` when
+``n == 1`` because a single original needs no decoding — in that case one
+copy is sent on every usable path to minimise delay.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+#: Paper's deployed extra-packet count (k in Theorem 4.1).
+DEFAULT_EXTRA_PACKETS = 3
+#: Paper's per-path spread factor bound: 1 < rho < 1.2.
+DEFAULT_RHO = 1.1
+
+
+def coded_packet_count(n: int, extra: int = DEFAULT_EXTRA_PACKETS) -> int:
+    """The minimum coded packets n' for a range of n lost packets (§4.5.1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return 1
+    return n + extra
+
+
+def decode_probability_bound(k: int) -> float:
+    """Theorem 4.1 lower bound on decode success with k extra packets."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    return 1.0 - 1.0 / (255.0 ** k * 254.0)
+
+
+@dataclass
+class PathBudget:
+    """Instantaneous spare capacity of one path at recovery time."""
+
+    path_id: int
+    available_window: int
+    usable: bool = True
+
+    def __post_init__(self):
+        if self.available_window < 0:
+            raise ValueError("available_window must be >= 0")
+
+
+@dataclass(frozen=True)
+class PathAllocation:
+    """How many coded packets one path carries in this recovery shot."""
+
+    path_id: int
+    packets: int
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The one-shot send plan for a single encode range."""
+
+    n_lost: int
+    n_coded: int
+    allocations: tuple
+
+    @property
+    def total_packets(self) -> int:
+        return sum(a.packets for a in self.allocations)
+
+
+@dataclass
+class RecoveryPolicy:
+    """Tunable knobs of the one-shot planner (ablation targets).
+
+    ``spread_mode``:
+
+    * ``"proportional_capped"`` — the deployed behaviour: ``min(b,
+      ceil(rho * n'))`` coded packets spread proportionally to available
+      windows, each path capped strictly below ``rho * n'``.  The ``rho``
+      bound (1 < rho < 1.2, §4.5.2) is what keeps steady-state redundancy
+      under 10 %: the shot slightly over-provisions the range, no more.
+    * ``"flood"`` — the literal "up to b" reading: fill every path's spare
+      window up to the per-path cap (an ablation arm; burns bandwidth).
+    * ``"exact"`` — send exactly ``n'`` packets, still proportional (used
+      by ablations to isolate the value of the rho over-provisioning).
+    * ``"single_path"`` — whole shot on the widest-window path (the
+      "bad-scheduling" ablation arm).
+    """
+
+    extra_packets: int = DEFAULT_EXTRA_PACKETS
+    rho: float = DEFAULT_RHO
+    spread_mode: str = "proportional_capped"
+
+    def __post_init__(self):
+        if self.extra_packets < 0:
+            raise ValueError("extra_packets must be >= 0")
+        if not 1.0 < self.rho < 1.2:
+            raise ValueError("rho must satisfy 1 < rho < 1.2 (§4.5.2)")
+        if self.spread_mode not in ("proportional_capped", "flood", "exact", "single_path"):
+            raise ValueError("unknown spread_mode %r" % self.spread_mode)
+
+
+def _proportional_allocation(
+    windows: List[tuple], total: int, per_path_cap: Optional[int]
+) -> List[PathAllocation]:
+    """Largest-remainder proportional split of ``total`` packets.
+
+    ``windows`` is [(path_id, available_window)] with positive windows.
+    Each share respects both the path window and ``per_path_cap``.
+    """
+    budget = sum(w for _, w in windows)
+    shares = []
+    for path_id, w in windows:
+        exact = total * (w / budget)
+        cap = w if per_path_cap is None else min(w, per_path_cap)
+        shares.append([path_id, min(int(exact), cap), exact - int(exact), cap])
+    allocated = sum(s[1] for s in shares)
+    # hand out remaining packets by largest fractional remainder, headroom
+    # permitting
+    shares.sort(key=lambda s: -s[2])
+    i = 0
+    while allocated < total:
+        progressed = False
+        for s in shares:
+            if allocated >= total:
+                break
+            if s[1] < s[3]:
+                s[1] += 1
+                allocated += 1
+                progressed = True
+        if not progressed:
+            break
+        i += 1
+        if i > total + 1:
+            break
+    return [PathAllocation(pid, n) for pid, n, _frac, _cap in shares if n > 0]
+
+
+def plan_recovery(
+    n_lost: int,
+    budgets: Sequence[PathBudget],
+    policy: Optional[RecoveryPolicy] = None,
+) -> Optional[RecoveryPlan]:
+    """Build the one-shot plan, or None when recovery must be delayed.
+
+    Returns None when the summed available windows ``b`` cannot carry
+    ``n'`` packets — XNC then waits (up to range expiry) rather than waste
+    bandwidth on a recovery that cannot succeed (§4.5.2).
+    """
+    if policy is None:
+        policy = RecoveryPolicy()
+    n_coded = coded_packet_count(n_lost, policy.extra_packets)
+    usable = [(b.path_id, b.available_window) for b in budgets if b.usable and b.available_window > 0]
+    total_window = sum(w for _, w in usable)
+
+    if n_lost == 1:
+        # one copy per usable path, no decoding needed
+        if total_window < 1:
+            return None
+        allocations = tuple(PathAllocation(pid, 1) for pid, _w in usable)
+        return RecoveryPlan(1, 1, allocations)
+
+    if total_window < n_coded:
+        return None
+
+    if policy.spread_mode == "single_path":
+        pid, w = max(usable, key=lambda pw: pw[1])
+        sent = min(w, n_coded)
+        if sent < n_coded:
+            return None
+        return RecoveryPlan(n_lost, n_coded, (PathAllocation(pid, n_coded),))
+
+    # per-path cap: strictly smaller than rho * n'
+    cap = max(1, math.ceil(policy.rho * n_coded) - 1)
+    if policy.spread_mode == "exact":
+        target = n_coded
+    elif policy.spread_mode == "flood":
+        target = max(min(total_window, cap * len(usable)), n_coded)
+    else:
+        target = max(min(total_window, math.ceil(policy.rho * n_coded)), n_coded)
+    allocations = _proportional_allocation(usable, target, cap)
+    total = sum(a.packets for a in allocations)
+    if total < n_coded:
+        # caps starved the plan (can only happen with a single narrow
+        # path); fall back to exactly n' if the raw windows allow it
+        allocations = _proportional_allocation(usable, n_coded, None)
+        total = sum(a.packets for a in allocations)
+        if total < n_coded:
+            return None
+    return RecoveryPlan(n_lost, n_coded, tuple(allocations))
+
+
+def recovery_seeds(count: int, rng: random.Random) -> List[int]:
+    """Fresh 32-bit coefficient seeds, one per coded packet in the shot."""
+    return [rng.randrange(1, 2 ** 32) for _ in range(count)]

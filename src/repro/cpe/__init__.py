@@ -1,0 +1,17 @@
+"""The in-vehicle CPE: hardware model, tun interface, modems (§5)."""
+
+from .box import CpeBox, CpuSubsystem
+from .modem import CellularModem, EP06_E, ModemModel, RM500Q_GL, default_modem_bank
+from .tun import DEFAULT_TUN_MTU, TunInterface
+
+__all__ = [
+    "CpeBox",
+    "CpuSubsystem",
+    "CellularModem",
+    "EP06_E",
+    "ModemModel",
+    "RM500Q_GL",
+    "default_modem_bank",
+    "DEFAULT_TUN_MTU",
+    "TunInterface",
+]

@@ -1,0 +1,176 @@
+"""The CellFusion CPE box (§5): the in-vehicle gateway.
+
+Composes the four hardware subsystems of §5.1 — CPU (RK3399, whose NEON
+SIMD the coding path exploits), the 2x5G + 2xLTE cellular bank, the
+interface/power subsystem, and the WiFi/LAN side — with the software that
+runs on them: the tun interface, the CPE-side SNAT, and the
+tunnel-client bring-up flow against the controller (authenticate → fetch
+config → probe candidate PoPs → connect to the minimum-delay one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cloud.controller import Controller, TunnelConfig
+from ..cloud.nat import SnatTable
+from ..cloud.pop import PopNode
+from ..netstack.ip import IpError, Ipv4Packet, PROTO_UDP, UDP_HEADER, UDP_HEADER_SIZE
+from .modem import CellularModem, default_modem_bank
+from .tun import TunInterface
+
+#: §5.1 power envelope.
+PEAK_POWER_W = 50.0
+STANDBY_POWER_W = 25.0
+
+
+@dataclass
+class CpuSubsystem:
+    """RK3399: dual Cortex-A72 + quad Cortex-A53, NEON-capable."""
+
+    model: str = "Rockchip RK3399"
+    big_cores: int = 2
+    little_cores: int = 4
+    simd: bool = True
+
+
+@dataclass
+class CpeStats:
+    lan_packets: int = 0
+    tunnel_packets: int = 0
+    snat_rewrites: int = 0
+    auth_failures: int = 0
+
+
+class CpeBox:
+    """One vehicle's CellFusion CPE."""
+
+    def __init__(
+        self,
+        device_id: str,
+        modems: Optional[List[CellularModem]] = None,
+        to_tunnel: Optional[Callable[[bytes], None]] = None,
+    ):
+        self.device_id = device_id
+        self.cpu = CpuSubsystem()
+        self.modems = modems if modems is not None else default_modem_bank()
+        self.tun = TunInterface(to_tunnel=self._capture)
+        self._to_tunnel = to_tunnel
+        self.token: Optional[str] = None
+        self.config: Optional[TunnelConfig] = None
+        self.connected_pop: Optional[str] = None
+        self.vehicle_location: Tuple[float, float] = (0.0, 0.0)
+        self._snat: Optional[SnatTable] = None
+        self.stats = CpeStats()
+
+    # -- hardware introspection ---------------------------------------------------
+
+    @property
+    def interface_names(self) -> List[str]:
+        return [m.interface for m in self.modems]
+
+    def modem_summary(self, t: float = 0.0) -> List[Dict]:
+        """What a diagnostics page would show per cellular module."""
+        out = []
+        for m in self.modems:
+            entry = {"interface": m.interface, "model": m.model.model, "carrier": m.carrier}
+            if m.trace is not None:
+                entry["rsrp_dbm"] = round(m.rsrp(t), 1)
+                entry["sinr_db"] = round(m.sinr(t), 1)
+            out.append(entry)
+        return out
+
+    # -- control-plane bring-up ------------------------------------------------------
+
+    def provision(self, controller: Controller) -> None:
+        """Factory provisioning: obtain the device token."""
+        self.token = controller.register_device(self.device_id)
+
+    def connect(self, controller: Controller, now: float = 0.0) -> PopNode:
+        """The §6.1 bring-up: auth → config → probe candidates → pick min
+        delay → register the session."""
+        if self.token is None:
+            raise RuntimeError("device not provisioned")
+        if not controller.authenticate(self.device_id, self.token):
+            self.stats.auth_failures += 1
+            raise PermissionError("controller rejected device %s" % self.device_id)
+        self.config = controller.get_config(self.device_id, self.token)
+        self._snat = SnatTable(self.config.tun_address)
+        candidates = controller.candidate_proxies(self.device_id, self.token)
+        if not candidates:
+            raise RuntimeError("no healthy proxies available")
+        best = min(candidates, key=lambda p: p.access_delay(self.vehicle_location))
+        controller.assign(self.device_id, best.pop_id)
+        self.connected_pop = best.pop_id
+        return best
+
+    # -- data plane ----------------------------------------------------------------
+
+    def _capture(self, ip_bytes: bytes) -> None:
+        """tun capture: CPE-side SNAT then hand to the tunnel-client."""
+        rewritten = self._snat_to_tun_address(ip_bytes)
+        if rewritten is None:
+            return
+        self.stats.tunnel_packets += 1
+        if self._to_tunnel is not None:
+            self._to_tunnel(rewritten)
+
+    def set_tunnel_sink(self, to_tunnel: Callable[[bytes], None]) -> None:
+        self._to_tunnel = to_tunnel
+
+    def send_lan_packet(self, ip_bytes: bytes, now: float = 0.0) -> None:
+        """An in-vehicle application sent an IP packet toward the cloud."""
+        self.stats.lan_packets += 1
+        self.tun.write_from_lan(ip_bytes, now)
+
+    def receive_tunnel_packet(self, ip_bytes: bytes, now: float = 0.0) -> Optional[Ipv4Packet]:
+        """Return traffic from the tunnel: un-NAT and inject to the LAN."""
+        restored = self._unsnat_from_tun_address(ip_bytes)
+        if restored is None:
+            return None
+        return self.tun.write_from_tunnel(restored, now)
+
+    def _snat_to_tun_address(self, ip_bytes: bytes) -> Optional[bytes]:
+        """First NAT of §6.2: LAN source -> the allocated tun address."""
+        if self._snat is None:
+            return ip_bytes  # tunnel not configured yet: pass through
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            return None
+        if packet.proto == PROTO_UDP and len(packet.payload) >= UDP_HEADER_SIZE:
+            sport, dport, length, _c = UDP_HEADER.unpack_from(packet.payload)
+            pub_ip, pub_port = self._snat.translate(PROTO_UDP, packet.src, sport)
+            udp = UDP_HEADER.pack(pub_port, dport, length, 0) + packet.payload[UDP_HEADER_SIZE:]
+            packet = Ipv4Packet(
+                src=pub_ip, dst=packet.dst, proto=PROTO_UDP, payload=udp,
+                identification=packet.identification, ttl=packet.ttl,
+            )
+        else:
+            packet = Ipv4Packet(
+                src=self._snat.public_ip, dst=packet.dst, proto=packet.proto,
+                payload=packet.payload, identification=packet.identification, ttl=packet.ttl,
+            )
+        self.stats.snat_rewrites += 1
+        return packet.encode()
+
+    def _unsnat_from_tun_address(self, ip_bytes: bytes) -> Optional[bytes]:
+        if self._snat is None:
+            return ip_bytes
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            return None
+        if packet.proto != PROTO_UDP or len(packet.payload) < UDP_HEADER_SIZE:
+            return ip_bytes
+        sport, dport, length, _c = UDP_HEADER.unpack_from(packet.payload)
+        try:
+            lan_ip, lan_port = self._snat.reverse(PROTO_UDP, dport)
+        except Exception:
+            return ip_bytes
+        udp = UDP_HEADER.pack(sport, lan_port, length, 0) + packet.payload[UDP_HEADER_SIZE:]
+        return Ipv4Packet(
+            src=packet.src, dst=lan_ip, proto=PROTO_UDP, payload=udp,
+            identification=packet.identification, ttl=packet.ttl,
+        ).encode()

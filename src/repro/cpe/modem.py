@@ -1,0 +1,94 @@
+"""Cellular modem model (§5.1).
+
+The CPE carries four modules — 2x Quectel RM500Q-GL (5G) and 2x EP06-E
+(LTE) — each on a different carrier.  A :class:`CellularModem` pairs a
+hardware descriptor with a drive trace so the tunnel-client can read the
+per-second RSRP/SINR the way the measurement study did (from the module
+driver, §2.2) and so the CPE can enumerate its interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..emulation.cellular import CellularTrace, generate_cellular_trace
+
+
+@dataclass(frozen=True)
+class ModemModel:
+    """Static hardware description of one cellular module."""
+
+    model: str
+    technology: str
+    tx_antennas: int
+    rx_antennas: int
+
+
+#: The exact modules in the CPE's cellular networking subsystem (§5.1).
+RM500Q_GL = ModemModel("Quectel RM500Q-GL", "5G", 2, 4)
+EP06_E = ModemModel("Quectel EP06-E", "LTE", 1, 2)
+
+
+class CellularModem:
+    """One cellular interface: hardware model + carrier + live RF state."""
+
+    def __init__(self, index: int, model: ModemModel, carrier: int, trace: Optional[CellularTrace] = None):
+        self.index = index
+        self.model = model
+        self.carrier = carrier
+        self.trace = trace
+        self.interface = "wwan%d" % index
+
+    @property
+    def technology(self) -> str:
+        return self.model.technology
+
+    @property
+    def name(self) -> str:
+        return "%s-carrier%d" % (self.technology, self.carrier)
+
+    def attach_trace(self, trace: CellularTrace) -> None:
+        if trace.tech != self.technology:
+            raise ValueError(
+                "trace technology %s does not match modem %s" % (trace.tech, self.technology)
+            )
+        self.trace = trace
+
+    def _require_trace(self) -> CellularTrace:
+        if self.trace is None:
+            raise RuntimeError("modem %s has no trace attached" % self.name)
+        return self.trace
+
+    def _sample(self, series: np.ndarray, t: float) -> float:
+        times = self._require_trace().times
+        idx = int(np.searchsorted(times, t % self.trace.duration, side="right")) - 1
+        return float(series[max(idx, 0)])
+
+    def rsrp(self, t: float) -> float:
+        """RSRP (dBm) reported by the module driver at time t."""
+        return self._sample(self._require_trace().rsrp_dbm, t)
+
+    def sinr(self, t: float) -> float:
+        """SINR (dB) reported by the module driver at time t."""
+        return self._sample(self._require_trace().sinr_db, t)
+
+    def in_outage(self, t: float) -> bool:
+        trace = self._require_trace()
+        idx = int(np.searchsorted(trace.times, t % trace.duration, side="right")) - 1
+        return bool(trace.outage_mask[max(idx, 0)])
+
+
+def default_modem_bank(duration: float = 60.0, seed: int = 0, speed_mps: float = 14.0) -> List[CellularModem]:
+    """The CPE's 2x5G + 2xLTE bank with freshly synthesised traces."""
+    specs = [(RM500Q_GL, 0), (RM500Q_GL, 1), (EP06_E, 1), (EP06_E, 2)]
+    modems = []
+    for i, (model, carrier) in enumerate(specs):
+        trace = generate_cellular_trace(
+            tech=model.technology, carrier=carrier, duration=duration, speed_mps=speed_mps,
+            seed=seed + i * 101,
+        )
+        modems.append(CellularModem(i, model, carrier, trace))
+    return modems

@@ -1,0 +1,94 @@
+"""Virtual tun interface model (§3.2, Appx. E).
+
+The CPE exposes a tun device to the in-vehicle LAN: IP packets written by
+applications are captured into the tunnel-client in user space; packets
+coming back from the tunnel are injected toward the LAN.  The tun MTU is
+set to 1440 (device MTU 1500 minus the 60-byte worst-case tunnel header)
+so full-sized user packets avoid split-and-reassemble inside the tunnel;
+genuinely oversized packets are IP-fragmented here, and the fragments then
+traverse the tunnel as independent IP packets, exactly as the appendix
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..netstack.ip import FragmentReassembler, IpError, Ipv4Packet, fragment
+
+#: Appx. E: 1500-byte device MTU minus 60 bytes of tunnel headers.
+DEFAULT_TUN_MTU = 1440
+
+
+@dataclass
+class TunStats:
+    captured: int = 0
+    injected: int = 0
+    fragmented: int = 0
+    fragments_out: int = 0
+    reassembled: int = 0
+    errors: int = 0
+
+
+class TunInterface:
+    """One side's tun device: capture toward the tunnel, inject from it."""
+
+    def __init__(
+        self,
+        name: str = "tun0",
+        mtu: int = DEFAULT_TUN_MTU,
+        to_tunnel: Optional[Callable[[bytes], None]] = None,
+        to_lan: Optional[Callable[[Ipv4Packet], None]] = None,
+    ):
+        if mtu < 68:
+            raise ValueError("IPv4 minimum MTU is 68")
+        self.name = name
+        self.mtu = mtu
+        self.to_tunnel = to_tunnel
+        self.to_lan = to_lan
+        self.stats = TunStats()
+        self._reassembler = FragmentReassembler()
+
+    def write_from_lan(self, ip_bytes: bytes, now: float = 0.0) -> List[bytes]:
+        """An application wrote an IP packet; capture it into the tunnel.
+
+        Oversized packets are fragmented to the tun MTU first.  Returns the
+        raw packets handed to the tunnel (also delivered via ``to_tunnel``).
+        """
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            self.stats.errors += 1
+            return []
+        self.stats.captured += 1
+        pieces = fragment(packet, self.mtu)
+        if len(pieces) > 1:
+            self.stats.fragmented += 1
+            self.stats.fragments_out += len(pieces)
+        out = [p.encode() for p in pieces]
+        if self.to_tunnel is not None:
+            for raw in out:
+                self.to_tunnel(raw)
+        return out
+
+    def write_from_tunnel(self, ip_bytes: bytes, now: float = 0.0) -> Optional[Ipv4Packet]:
+        """The tunnel delivered an IP packet; inject it toward the LAN.
+
+        Fragments are reassembled before delivery; returns the delivered
+        packet (None while waiting for more fragments).
+        """
+        try:
+            packet = Ipv4Packet.decode(ip_bytes)
+        except IpError:
+            self.stats.errors += 1
+            return None
+        whole = self._reassembler.push(packet, now)
+        if whole is None:
+            return None
+        if whole is not packet:
+            self.stats.reassembled += 1
+        self.stats.injected += 1
+        if self.to_lan is not None:
+            self.to_lan(whole)
+        return whole

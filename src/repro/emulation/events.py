@@ -1,0 +1,155 @@
+"""Discrete-event simulation core.
+
+Everything in the reproduction — links, transports, video sources, timers —
+runs on one :class:`EventLoop`.  Time is a float in seconds.  The loop is a
+plain binary heap with cancellable handles; ties are broken by insertion
+order so runs are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid scheduling (e.g. events in the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    order: int
+    callback: Optional[Callable] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`EventLoop.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.callback is None
+
+    def cancel(self) -> None:
+        """Cancel the event; safe to call more than once."""
+        self._entry.callback = None
+        self._entry.args = ()
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, when: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now - 1e-12:
+            raise SimulationError("cannot schedule event at %.6f before now %.6f" % (when, self._now))
+        entry = _Entry(max(when, self._now), next(self._counter), callback, args)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def call_later(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError("negative delay %r" % delay)
+        return self.schedule(self._now + delay, callback, *args)
+
+    def _pop_live(self) -> Optional[_Entry]:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.callback is not None:
+                return entry
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._heap and self._heap[0].callback is None:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run one event; returns False when the queue is empty."""
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self._now = entry.time
+        callback, args = entry.callback, entry.args
+        entry.callback = None
+        self.events_processed += 1
+        callback(*args)
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``, then advance to it."""
+        while True:
+            t = self.peek_time()
+            if t is None or t > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Run until the event queue is exhausted."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError("event budget exhausted; runaway simulation?")
+
+
+class PeriodicTimer:
+    """Repeats ``callback()`` every ``interval`` seconds until stopped."""
+
+    def __init__(self, loop: EventLoop, interval: float, callback: Callable):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._loop = loop
+        self.interval = interval
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = self.interval if first_delay is None else first_delay
+        self._handle = self._loop.call_later(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._handle = self._loop.call_later(self.interval, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

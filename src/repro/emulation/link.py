@@ -1,0 +1,170 @@
+"""Trace-driven emulated link (mpshell semantics).
+
+One :class:`EmulatedLink` models one direction of one cellular interface:
+a drop-tail queue drained by the trace's delivery opportunities (one MTU
+per opportunity, looping beyond the trace duration), followed by the base
+propagation delay.  Random loss is sampled per packet from the trace's
+loss process at drain time.
+
+Latency spikes emerge naturally: when capacity collapses (an outage bucket
+with no opportunities) the queue builds and every queued packet inherits
+seconds of delay — exactly the behaviour measured in Fig. 3(c).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional
+from collections import deque
+
+import numpy as np
+
+from .events import EventLoop
+from .trace import LinkTrace, MTU_BYTES
+
+#: Default drop-tail queue limit; ~0.5 s of 30 Mbps video, deep enough for
+#: bufferbloat-style delay spikes, small enough to convert sustained
+#: outage into burst loss (both appear in Fig. 3).
+DEFAULT_QUEUE_LIMIT_BYTES = 2_000_000
+
+
+@dataclass
+class LinkStats:
+    """Counters for one link direction."""
+
+    enqueued: int = 0
+    delivered: int = 0
+    dropped_queue: int = 0
+    dropped_loss: int = 0
+    bytes_delivered: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.delivered + self.dropped_loss
+        return self.dropped_loss / total if total else 0.0
+
+
+@dataclass
+class _Queued:
+    payload: Any
+    size: int
+    enqueue_time: float
+
+
+class EmulatedLink:
+    """One direction of one emulated cellular link."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace: LinkTrace,
+        deliver: Callable[[Any, float], None],
+        queue_limit_bytes: int = DEFAULT_QUEUE_LIMIT_BYTES,
+        seed: int = 0,
+        loss_enabled: bool = True,
+    ):
+        if queue_limit_bytes <= 0:
+            raise ValueError("queue_limit_bytes must be positive")
+        self.loop = loop
+        self.trace = trace
+        self.deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self.loss_enabled = loss_enabled
+        self.stats = LinkStats()
+        self._rng = random.Random(seed)
+        self._queue: Deque[_Queued] = deque()
+        self._queue_bytes = 0
+        self._drain_scheduled = False
+        # opportunity cursor: epoch * duration + opportunities[index]
+        self._opp_index = 0
+        self._epoch = 0
+        if trace.opportunities.size == 0:
+            # a dead link: packets only ever drop at the queue limit
+            self._dead = True
+        else:
+            self._dead = False
+
+    @property
+    def queue_bytes(self) -> int:
+        return self._queue_bytes
+
+    @property
+    def queue_packets(self) -> int:
+        return len(self._queue)
+
+    @property
+    def name(self) -> str:
+        return self.trace.name
+
+    def _next_opportunity(self, after: float) -> float:
+        """Absolute time of the next delivery opportunity >= ``after``."""
+        opps = self.trace.opportunities
+        duration = self.trace.duration
+        # jump straight to the epoch containing ``after``
+        target_epoch = int(after // duration)
+        if target_epoch > self._epoch:
+            self._epoch = target_epoch
+            self._opp_index = 0
+        while True:
+            base = self._epoch * duration
+            if self._opp_index >= opps.size:
+                self._epoch += 1
+                self._opp_index = 0
+                continue
+            t = base + opps[self._opp_index]
+            if t >= after - 1e-12:
+                return t
+            # advance the cursor with a binary search within this epoch
+            local = after - base
+            idx = int(np.searchsorted(opps, local, side="left"))
+            if idx >= opps.size:
+                self._epoch += 1
+                self._opp_index = 0
+            else:
+                self._opp_index = idx
+
+    def send(self, payload: Any, size: int) -> bool:
+        """Enqueue a packet; returns False if the queue tail-dropped it."""
+        if size <= 0:
+            raise ValueError("packet size must be positive")
+        self.stats.enqueued += 1
+        if self._queue_bytes + size > self.queue_limit_bytes:
+            self.stats.dropped_queue += 1
+            self.stats.bytes_dropped += size
+            return False
+        self._queue.append(_Queued(payload, size, self.loop.now))
+        self._queue_bytes += size
+        self._schedule_drain()
+        return True
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or not self._queue or self._dead:
+            return
+        t = self._next_opportunity(self.loop.now)
+        self._drain_scheduled = True
+        self.loop.schedule(t, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        if not self._queue:
+            return
+        # consume this opportunity
+        self._opp_index += 1
+        item = self._queue.popleft()
+        self._queue_bytes -= item.size
+        lost = False
+        if self.loss_enabled:
+            p = self.trace.loss.probability_at(self.loop.now, self.trace.duration)
+            if p > 0 and self._rng.random() < p:
+                lost = True
+        if lost:
+            self.stats.dropped_loss += 1
+            self.stats.bytes_dropped += item.size
+        else:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += item.size
+            arrive = self.loop.now + self.trace.base_delay
+            self.loop.schedule(arrive, self.deliver, item.payload, arrive)
+        self._schedule_drain()

@@ -1,0 +1,19 @@
+"""Experiment harness: one call per paper figure."""
+
+from .runner import (
+    StreamRunResult,
+    TRANSPORT_NAMES,
+    build_paths,
+    make_transport,
+    run_single_link_stream,
+    run_stream,
+)
+
+__all__ = [
+    "StreamRunResult",
+    "TRANSPORT_NAMES",
+    "build_paths",
+    "make_transport",
+    "run_single_link_stream",
+    "run_stream",
+]

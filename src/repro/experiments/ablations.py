@@ -1,0 +1,190 @@
+"""Design-knob ablations beyond the paper's Fig. 13 (DESIGN.md §5).
+
+Each sweep isolates one XNC design choice and measures its effect on the
+QoE/redundancy trade-off over a fixed set of traces:
+
+* ``sweep_extra_packets`` — k in n' = n + k (paper: 3, Theorem 4.1);
+* ``sweep_rho`` — the per-path spread bound (paper: 1 < rho < 1.2);
+* ``sweep_spread_mode`` — proportional-capped vs exact vs single-path vs
+  flood one-shot spreading;
+* ``sweep_expiry`` — t_expire (paper: 700 ms);
+* ``sweep_range_size`` — r, the packets-per-range cap (paper: 10);
+* ``sweep_app_threshold`` — the QoE loss-detection threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.endpoint import XncConfig
+from ..core.loss_detection import QoeLossPolicy
+from ..core.ranges import RangePolicy
+from ..core.recovery import RecoveryPolicy
+from ..emulation.cellular import generate_fleet_traces
+from .runner import run_stream
+
+#: Default ablation seeds: chosen so the traces include real outages and
+#: loss bursts (benign drives make every knob look identical).
+HARSH_SEEDS = (0, 7, 8)
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's outcome, averaged over the trace seeds."""
+
+    label: str
+    stall_ratio: float
+    residual_loss: float
+    redundancy: float
+    delay_p99: float
+
+    def as_row(self) -> list:
+        return [
+            self.label,
+            "%.2f" % (self.stall_ratio * 100),
+            "%.3f" % (self.residual_loss * 100),
+            "%.2f" % (self.redundancy * 100),
+            "%.0f" % (self.delay_p99 * 1000),
+        ]
+
+
+ROW_HEADERS = ["config", "stall %", "residual loss %", "redundancy %", "delay P99 ms"]
+
+
+def _evaluate(
+    label: str,
+    config: XncConfig,
+    duration: float,
+    seeds: Sequence[int],
+) -> AblationPoint:
+    stalls, losses, redundancies, delays = [], [], [], []
+    for seed in seeds:
+        traces = generate_fleet_traces(duration=duration, seed=seed)
+        # fresh config per run: endpoints keep per-run state out of it, but
+        # dataclasses are mutable and the runner may adjust copies
+        cfg = XncConfig(
+            loss_policy=config.loss_policy,
+            range_policy=config.range_policy,
+            recovery_policy=config.recovery_policy,
+            simd=config.simd,
+            seed=config.seed,
+            coding_enabled=config.coding_enabled,
+        )
+        r = run_stream("cellfusion", uplink_traces=traces, duration=duration, seed=seed, xnc_config=cfg)
+        stalls.append(r.qoe.stall_ratio)
+        losses.append(1.0 - r.delivery_ratio)
+        redundancies.append(r.redundancy_ratio)
+        delays.append(float(np.percentile(r.censored_packet_delays(), 99)))
+    return AblationPoint(
+        label,
+        float(np.mean(stalls)),
+        float(np.mean(losses)),
+        float(np.mean(redundancies)),
+        float(np.mean(delays)),
+    )
+
+
+def sweep_extra_packets(
+    values: Sequence[int] = (0, 1, 3, 6),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    """k = 0 risks undecodable ranges; large k wastes bandwidth."""
+    return [
+        _evaluate(
+            "k=%d" % k,
+            XncConfig(recovery_policy=RecoveryPolicy(extra_packets=k)),
+            duration,
+            seeds,
+        )
+        for k in values
+    ]
+
+
+def sweep_rho(
+    values: Sequence[float] = (1.01, 1.1, 1.19),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    return [
+        _evaluate(
+            "rho=%.2f" % rho,
+            XncConfig(recovery_policy=RecoveryPolicy(rho=rho)),
+            duration,
+            seeds,
+        )
+        for rho in values
+    ]
+
+
+def sweep_spread_mode(
+    modes: Sequence[str] = ("proportional_capped", "exact", "single_path", "flood"),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    """Spreading across paths vs dumping the shot on one path vs flooding."""
+    return [
+        _evaluate(
+            mode,
+            XncConfig(recovery_policy=RecoveryPolicy(spread_mode=mode)),
+            duration,
+            seeds,
+        )
+        for mode in modes
+    ]
+
+
+def sweep_expiry(
+    values: Sequence[float] = (0.2, 0.7, 2.0),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    """Short expiry abandons recoverable video; long expiry wastes
+    bandwidth on stale frames."""
+    return [
+        _evaluate(
+            "t_expire=%.1fs" % t,
+            XncConfig(range_policy=RangePolicy(t_expire=t)),
+            duration,
+            seeds,
+        )
+        for t in values
+    ]
+
+
+def sweep_range_size(
+    values: Sequence[int] = (2, 10, 40),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    """r bounds coding delay and matrix size (§4.4.2)."""
+    return [
+        _evaluate(
+            "r=%d" % r,
+            XncConfig(range_policy=RangePolicy(max_packets=r)),
+            duration,
+            seeds,
+        )
+        for r in values
+    ]
+
+
+def sweep_app_threshold(
+    values: Sequence[Optional[float]] = (0.06, 0.12, 0.3, None),
+    duration: float = 10.0,
+    seeds: Sequence[int] = HARSH_SEEDS,
+) -> List[AblationPoint]:
+    """Aggressive thresholds recover earlier but fire spuriously; None is
+    PTO-only (the Fig. 13(b) arm)."""
+    return [
+        _evaluate(
+            "thresh=%s" % ("PTO-only" if v is None else "%dms" % int(v * 1000)),
+            XncConfig(loss_policy=QoeLossPolicy(app_threshold=v)),
+            duration,
+            seeds,
+        )
+        for v in values
+    ]

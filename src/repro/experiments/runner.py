@@ -1,0 +1,255 @@
+"""End-to-end experiment harness.
+
+One call — :func:`run_stream` — builds the whole §8.3.1 testbed: synthetic
+cellular traces, the 4-path emulator, a tunnel client/server pair for the
+chosen transport, a video source feeding the client, and a video receiver
+behind the server.  It runs the event loop for the session and returns a
+:class:`StreamRunResult` with the QoE triple, the packet-delay
+distribution, and the redundancy accounting the figures need.
+
+Transports are selected by name; the registry covers every comparison arm
+in the paper:
+
+===============  ==============================================================
+name             configuration
+===============  ==============================================================
+``cellfusion``   XNC: QoE loss detection + Q-RLNC one-shot recovery, minRTT,
+                 BBR (aliases: ``xnc``)
+``mpquic``       reliable in-order multipath QUIC, minRTT, BBR
+``mptcp``        reliable in-order, minRTT, NewReno
+``bonding``      5-tuple-hash single-interface UDP with failover
+``minRTT``       reliable in-order, minRTT scheduler, BBR (Fig. 11 arm)
+``RE``           reliable, fully redundant duplication (Fig. 11 arm)
+``XLINK``        reliable, QoE-driven reinjection scheduler (Fig. 11 arm)
+``ECF``          reliable, earliest-completion-first (Fig. 11 arm)
+``pluribus``     proactive block erasure coding (Fig. 12 arm)
+``fec``          proactive fixed-rate FEC, no feedback (the §4.1 strawman)
+``xnc-no-rlnc``  XNC ablation: retransmit originals, no coding (Fig. 13a)
+``xnc-pto-only`` XNC ablation: PTO-only loss detection (Fig. 13b)
+===============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.bonding import BondingTunnelClient, build_bonding_paths
+from ..baselines.pluribus import PluribusConfig, PluribusTunnelClient
+from ..baselines.quic_fec import FecConfig, FecTunnelClient
+from ..baselines.reliable import (
+    InOrderTunnelServer,
+    ReliableTunnelClient,
+    UnorderedTunnelServer,
+)
+from ..core.endpoint import XncConfig, XncTunnelClient, XncTunnelServer
+from ..core.loss_detection import QoeLossPolicy
+from ..emulation.cellular import generate_fleet_traces
+from ..emulation.emulator import MultipathEmulator
+from ..emulation.events import EventLoop
+from ..emulation.trace import LinkTrace
+from ..multipath.path import PathManager, PathState
+from ..multipath.scheduler.ecf import EcfScheduler
+from ..multipath.scheduler.minrtt import MinRttScheduler
+from ..multipath.scheduler.redundant import RedundantScheduler
+from ..multipath.scheduler.xlink import XlinkScheduler
+from ..quic.cc.bbr import BbrController
+from ..quic.cc.newreno import NewRenoController
+from ..video.qoe import QoeReport, _frame_status, analyze_qoe
+from ..video.receiver import VideoReceiver
+from ..video.source import VideoConfig, VideoSource
+
+TRANSPORT_NAMES = (
+    "cellfusion",
+    "xnc",
+    "mpquic",
+    "mptcp",
+    "bonding",
+    "minRTT",
+    "RE",
+    "XLINK",
+    "ECF",
+    "pluribus",
+    "fec",
+    "xnc-no-rlnc",
+    "xnc-pto-only",
+)
+
+
+@dataclass
+class StreamRunResult:
+    """Everything the benchmarks read off one streaming session."""
+
+    transport: str
+    qoe: QoeReport
+    packet_delays: List[float]
+    redundancy_ratio: float
+    frames_sent: int
+    packets_sent: int
+    packets_received: int
+    client_stats: object
+    uplink_loss_rates: Dict[int, float]
+    duration: float
+    #: Per-frame delivery status ("normal"/"corrupt"/"missing"), frame order.
+    frame_statuses: List[str] = field(default_factory=list)
+    #: Per-frame fraction of packets that never arrived (1.0 = frame gone).
+    frame_loss_fractions: List[float] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.packets_received / self.packets_sent if self.packets_sent else 0.0
+
+    def censored_packet_delays(self, penalty: float = 1.0) -> List[float]:
+        """Delay distribution with never-delivered packets censored at
+        ``penalty`` seconds.
+
+        Comparing raw delivered-only delays between transports with
+        different delivery ratios is survivorship-biased: a transport that
+        silently drops its slowest packets looks "faster".  Censoring
+        charges each undelivered packet the deadline it missed.
+        """
+        missing = max(0, self.packets_sent - self.packets_received)
+        return list(self.packet_delays) + [penalty] * missing
+
+
+def build_paths(emulator: MultipathEmulator, cc_factory: Callable, names: Optional[Sequence[str]] = None) -> PathManager:
+    """One PathState per emulator channel with the given controller."""
+    manager = PathManager()
+    for pid in emulator.path_ids():
+        name = names[pid] if names else emulator.channels[pid].name
+        manager.add(PathState(pid, name=name, cc=cc_factory(), initial_rtt=0.05))
+    return manager
+
+
+def make_transport(
+    name: str,
+    loop: EventLoop,
+    emulator: MultipathEmulator,
+    receiver_sink: Callable[[int, bytes, float], None],
+    xnc_config: Optional[XncConfig] = None,
+) -> Tuple[object, object]:
+    """Instantiate (client, server) for a registry name."""
+    if name in ("cellfusion", "xnc"):
+        paths = build_paths(emulator, BbrController)
+        client = XncTunnelClient(loop, emulator, paths, xnc_config or XncConfig())
+        server = XncTunnelServer(loop, emulator, receiver_sink)
+    elif name == "xnc-no-rlnc":
+        paths = build_paths(emulator, BbrController)
+        cfg = xnc_config or XncConfig()
+        cfg.coding_enabled = False
+        client = XncTunnelClient(loop, emulator, paths, cfg)
+        server = XncTunnelServer(loop, emulator, receiver_sink)
+    elif name == "xnc-pto-only":
+        paths = build_paths(emulator, BbrController)
+        cfg = xnc_config or XncConfig()
+        cfg.loss_policy = QoeLossPolicy(app_threshold=None)
+        client = XncTunnelClient(loop, emulator, paths, cfg)
+        server = XncTunnelServer(loop, emulator, receiver_sink)
+    elif name == "mpquic":
+        paths = build_paths(emulator, BbrController)
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "mptcp":
+        paths = build_paths(emulator, NewRenoController)
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
+        client.rto_min = 0.200  # kernel TCP RTO_min
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "bonding":
+        client = BondingTunnelClient(loop, emulator)
+        server = UnorderedTunnelServer(loop, emulator, receiver_sink)
+    elif name == "minRTT":
+        paths = build_paths(emulator, BbrController)
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "RE":
+        paths = build_paths(emulator, BbrController)
+        client = ReliableTunnelClient(loop, emulator, paths, RedundantScheduler())
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "XLINK":
+        paths = build_paths(emulator, BbrController)
+        client = ReliableTunnelClient(loop, emulator, paths, XlinkScheduler())
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "ECF":
+        paths = build_paths(emulator, BbrController)
+        client = ReliableTunnelClient(loop, emulator, paths, EcfScheduler())
+        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+    elif name == "pluribus":
+        paths = build_paths(emulator, BbrController)
+        client = PluribusTunnelClient(loop, emulator, paths, PluribusConfig())
+        server = XncTunnelServer(loop, emulator, receiver_sink)
+    elif name == "fec":
+        paths = build_paths(emulator, BbrController)
+        client = FecTunnelClient(loop, emulator, paths, FecConfig())
+        server = XncTunnelServer(loop, emulator, receiver_sink)
+    else:
+        raise ValueError("unknown transport %r (choose from %s)" % (name, ", ".join(TRANSPORT_NAMES)))
+    return client, server
+
+
+def run_stream(
+    transport: str,
+    uplink_traces: Optional[Sequence[LinkTrace]] = None,
+    video: Optional[VideoConfig] = None,
+    duration: float = 30.0,
+    seed: int = 0,
+    xnc_config: Optional[XncConfig] = None,
+    drain_time: float = 1.5,
+) -> StreamRunResult:
+    """Run one streaming session end to end and analyse it.
+
+    ``uplink_traces`` defaults to a fresh 2x5G + 2xLTE fleet for ``seed``.
+    The loop runs ``duration`` seconds of streaming plus ``drain_time`` for
+    stragglers, then QoE is computed over the emitted frames.
+    """
+    loop = EventLoop()
+    if uplink_traces is None:
+        uplink_traces = generate_fleet_traces(duration=duration, seed=seed)
+    emulator = MultipathEmulator(loop, uplink_traces, seed=seed)
+    receiver = VideoReceiver()
+    client, server = make_transport(transport, loop, emulator, receiver.on_app_packet, xnc_config)
+
+    video_cfg = video or VideoConfig()
+    source = VideoSource(loop, lambda payload, frame_id: client.send_app_packet(payload, frame_id), video_cfg)
+    source.start(first_delay=0.01)
+
+    loop.run_until(duration)
+    source.stop()
+    loop.run_until(duration + drain_time)
+    client.close()
+    server.close()
+
+    frames = receiver.frame_records(total_frames=source.frames_emitted)
+    qoe = analyze_qoe(frames, video_cfg.fps, duration=duration)
+    statuses = [_frame_status(f) for f in frames]
+    frame_loss = [
+        (1.0 - f.received_fraction) if f.expected_packets else 1.0 for f in frames
+    ]
+    uplink_loss = {pid: s.loss_rate for pid, s in emulator.uplink_stats().items()}
+    return StreamRunResult(
+        transport=transport,
+        qoe=qoe,
+        packet_delays=receiver.packet_delays,
+        redundancy_ratio=client.stats.redundancy_ratio,
+        frames_sent=source.frames_emitted,
+        packets_sent=source.packets_emitted,
+        packets_received=receiver.packets_received,
+        client_stats=client.stats,
+        uplink_loss_rates=uplink_loss,
+        duration=duration,
+        frame_statuses=statuses,
+        frame_loss_fractions=frame_loss,
+    )
+
+
+def run_single_link_stream(
+    trace: LinkTrace,
+    video: Optional[VideoConfig] = None,
+    duration: float = 30.0,
+    seed: int = 0,
+) -> StreamRunResult:
+    """Stream over one cellular link only (the §2.2 / Fig. 3 setup).
+
+    Uses the plain-UDP bonding client pinned to the single path — i.e. the
+    'today's single-carrier connectivity' baseline.
+    """
+    return run_stream("bonding", [trace], video=video, duration=duration, seed=seed)

@@ -1,0 +1,5 @@
+"""Multipath machinery: per-path state and schedulers."""
+
+from .path import PathManager, PathState
+
+__all__ = ["PathManager", "PathState"]

@@ -1,0 +1,121 @@
+"""Per-path transport state for multipath QUIC.
+
+Following the IETF multipath draft the paper builds on, each path has its
+own packet-number space, RTT estimator, and congestion controller.  The
+:class:`PathState` bundles those for the schedulers and the recovery
+planner; :class:`PathManager` owns the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..quic.cc.base import CongestionController
+from ..quic.cc.bbr import BbrController
+from ..quic.rtt import RttEstimator
+
+#: A path with no ACK for this many PTOs is considered potentially failed
+#: and deprioritised for first transmissions.
+PATH_FAILURE_PTOS = 3.0
+
+
+class PathState:
+    """Sender-side state of one path (one cellular interface)."""
+
+    def __init__(
+        self,
+        path_id: int,
+        name: str = "",
+        cc: Optional[CongestionController] = None,
+        initial_rtt: float = 0.1,
+    ):
+        self.path_id = path_id
+        self.name = name or ("path-%d" % path_id)
+        self.cc = cc if cc is not None else BbrController()
+        self.rtt = RttEstimator(initial_rtt=initial_rtt)
+        self._next_packet_number = 0
+        self.last_ack_time = 0.0
+        self.last_send_time = 0.0
+        self.packets_sent = 0
+        self.packets_acked = 0
+        self.packets_lost = 0
+        self.bytes_sent = 0
+        self.enabled = True
+
+    def next_packet_number(self) -> int:
+        n = self._next_packet_number
+        self._next_packet_number += 1
+        return n
+
+    @property
+    def smoothed_rtt(self) -> float:
+        return self.rtt.smoothed_rtt
+
+    def on_sent(self, size: int, now: float) -> None:
+        self.cc.on_sent(size, now)
+        self.last_send_time = now
+        self.packets_sent += 1
+        self.bytes_sent += size
+
+    def on_acked(self, size: int, rtt_sample: float, ack_delay: float, now: float) -> None:
+        self.rtt.update(rtt_sample, ack_delay)
+        self.cc.on_ack(size, rtt_sample, now)
+        self.last_ack_time = now
+        self.packets_acked += 1
+
+    def on_lost(self, size: int, now: float) -> None:
+        self.cc.on_loss(size, now)
+        self.packets_lost += 1
+
+    def potentially_failed(self, now: float) -> bool:
+        """Heuristic liveness: no ACK for several PTOs while data was sent."""
+        if self.packets_sent == 0:
+            return False
+        reference = max(self.last_ack_time, 0.0)
+        quiet = now - max(reference, 0.0)
+        waiting = self.cc.bytes_in_flight > 0 or self.last_send_time > self.last_ack_time
+        return waiting and quiet > PATH_FAILURE_PTOS * self.rtt.pto()
+
+    def is_usable(self, now: float) -> bool:
+        """Usable for transmission: enabled and not apparently dead."""
+        return self.enabled and not self.potentially_failed(now)
+
+    def can_send(self, size: int) -> bool:
+        return self.enabled and self.cc.can_send(size)
+
+
+class PathManager:
+    """The sender's set of paths."""
+
+    def __init__(self, paths: Optional[List[PathState]] = None):
+        self._paths: Dict[int, PathState] = {}
+        for p in paths or []:
+            self.add(p)
+
+    def add(self, path: PathState) -> None:
+        if path.path_id in self._paths:
+            raise ValueError("duplicate path id %d" % path.path_id)
+        self._paths[path.path_id] = path
+
+    def get(self, path_id: int) -> PathState:
+        return self._paths[path_id]
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(sorted(self._paths.values(), key=lambda p: p.path_id))
+
+    def all(self) -> List[PathState]:
+        return sorted(self._paths.values(), key=lambda p: p.path_id)
+
+    def usable(self, now: float) -> List[PathState]:
+        return [p for p in self.all() if p.is_usable(now)]
+
+    def with_window(self, size: int, now: float) -> List[PathState]:
+        """Paths that are usable and have window for ``size`` bytes."""
+        return [p for p in self.usable(now) if p.can_send(size)]
+
+    def total_available_packets(self, now: float) -> int:
+        return sum(p.cc.available_packets() for p in self.usable(now))

@@ -1,0 +1,22 @@
+"""Multipath schedulers: minRTT, RE, ECF, XLINK, round-robin, bonding."""
+
+from .base import Scheduler
+from .blest import BlestScheduler
+from .bonding import BondingScheduler, hash_five_tuple
+from .ecf import EcfScheduler
+from .minrtt import MinRttScheduler
+from .redundant import RedundantScheduler
+from .roundrobin import RoundRobinScheduler
+from .xlink import XlinkScheduler
+
+__all__ = [
+    "Scheduler",
+    "BlestScheduler",
+    "BondingScheduler",
+    "hash_five_tuple",
+    "EcfScheduler",
+    "MinRttScheduler",
+    "RedundantScheduler",
+    "RoundRobinScheduler",
+    "XlinkScheduler",
+]

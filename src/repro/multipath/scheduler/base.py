@@ -1,0 +1,33 @@
+"""Multipath scheduler interface.
+
+A scheduler answers one question per first-time packet: which path(s)
+should carry it *now*.  Returning an empty list means "hold the packet"
+(no path has window, or the scheduler prefers waiting — ECF does this).
+Redundant schedulers return several paths and the packet is duplicated.
+
+Recovery packets bypass the scheduler entirely: XNC's one-shot recovery
+does its own window-proportional spreading (§4.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..path import PathState
+
+
+class Scheduler:
+    """Base multipath scheduler."""
+
+    name = "base"
+
+    def select(self, paths: Sequence[PathState], size: int, now: float) -> List[PathState]:
+        """Paths that should carry this packet (possibly empty)."""
+        raise NotImplementedError
+
+    def sendable(self, paths: Sequence[PathState], size: int, now: float) -> List[PathState]:
+        """Helper: usable paths with congestion window for ``size``."""
+        return [p for p in paths if p.is_usable(now) and p.can_send(size)]
+
+    def __repr__(self) -> str:
+        return "<%s scheduler>" % self.name

@@ -1,0 +1,27 @@
+"""min-RTT scheduler [30] — XNC's default for first transmissions (§4.2).
+
+Sends each new packet on the lowest-smoothed-RTT path that currently has
+congestion window.  Simple and effective when paths are stable; the paper's
+point is that it mispredicts badly when a chosen path collapses mid-flight,
+which is what the coded recovery compensates for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..path import PathState
+from .base import Scheduler
+
+
+class MinRttScheduler(Scheduler):
+    """Lowest-RTT available path wins."""
+
+    name = "minRTT"
+
+    def select(self, paths: Sequence[PathState], size: int, now: float) -> List[PathState]:
+        candidates = self.sendable(paths, size, now)
+        if not candidates:
+            return []
+        best = min(candidates, key=lambda p: (p.smoothed_rtt, p.path_id))
+        return [best]

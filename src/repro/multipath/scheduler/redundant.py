@@ -1,0 +1,23 @@
+"""Fully redundant scheduler (RE) [61].
+
+Duplicates every packet on every path that has window — "gentle
+aggression" taken to its limit.  Excellent loss resilience but, as Fig. 11
+shows, up to ~300 % redundant traffic; under constrained links the copies
+crowd out fresh video and the tail stall ratio suffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..path import PathState
+from .base import Scheduler
+
+
+class RedundantScheduler(Scheduler):
+    """Send a copy on every path with available window."""
+
+    name = "RE"
+
+    def select(self, paths: Sequence[PathState], size: int, now: float) -> List[PathState]:
+        return self.sendable(paths, size, now)

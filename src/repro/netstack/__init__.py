@@ -1,0 +1,25 @@
+"""Minimal IP machinery for the transparent tunnel (Appx. E, §6.2)."""
+
+from .ip import (
+    FragmentReassembler,
+    IpError,
+    Ipv4Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    build_udp,
+    checksum16,
+    fragment,
+    parse_udp,
+)
+
+__all__ = [
+    "FragmentReassembler",
+    "IpError",
+    "Ipv4Packet",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "build_udp",
+    "checksum16",
+    "fragment",
+    "parse_udp",
+]

@@ -1,0 +1,235 @@
+"""Minimal IPv4/UDP packet machinery for the transparent tunnel.
+
+CellFusion tunnels raw IP packets (§3.2): the CPE's tun interface captures
+them, the proxy decapsulates and Source-NATs them, and fragmentation
+handles the worst-case MTU overflow (Appx. E).  This module provides just
+enough of IPv4 — header build/parse, checksum, fragmentation and
+reassembly, UDP encapsulation — for those code paths to be real rather
+than pretend.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+IPV4_HEADER_SIZE = IPV4_HEADER.size  # 20, no options
+UDP_HEADER = struct.Struct("!HHHH")
+UDP_HEADER_SIZE = UDP_HEADER.size  # 8
+
+PROTO_UDP = 17
+PROTO_TCP = 6
+
+FLAG_DF = 0x2
+FLAG_MF = 0x1
+
+
+class IpError(Exception):
+    """Malformed IP packet."""
+
+
+def checksum16(data: bytes) -> int:
+    """RFC 1071 16-bit one's-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ip_to_bytes(addr: str) -> bytes:
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise IpError("bad IPv4 address %r" % addr)
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError:
+        raise IpError("bad IPv4 address %r" % addr)
+    if any(not 0 <= o <= 255 for o in octets):
+        raise IpError("bad IPv4 address %r" % addr)
+    return bytes(octets)
+
+
+def bytes_to_ip(data: bytes) -> str:
+    if len(data) != 4:
+        raise IpError("bad address length")
+    return ".".join(str(b) for b in data)
+
+
+@dataclass
+class Ipv4Packet:
+    """A parsed (or to-be-built) IPv4 packet."""
+
+    src: str
+    dst: str
+    proto: int
+    payload: bytes
+    identification: int = 0
+    ttl: int = 64
+    flags: int = 0
+    fragment_offset: int = 0  # in 8-byte units
+
+    @property
+    def total_length(self) -> int:
+        return IPV4_HEADER_SIZE + len(self.payload)
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags & FLAG_MF)
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.fragment_offset > 0 or self.more_fragments
+
+    def encode(self) -> bytes:
+        header = IPV4_HEADER.pack(
+            0x45,
+            0,
+            self.total_length,
+            self.identification,
+            (self.flags << 13) | self.fragment_offset,
+            self.ttl,
+            self.proto,
+            0,
+            ip_to_bytes(self.src),
+            ip_to_bytes(self.dst),
+        )
+        csum = checksum16(header)
+        header = header[:10] + struct.pack("!H", csum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Packet":
+        if len(data) < IPV4_HEADER_SIZE:
+            raise IpError("truncated IPv4 header")
+        (vihl, _tos, total, ident, flags_frag, ttl, proto, csum, src, dst) = IPV4_HEADER.unpack_from(data)
+        if vihl >> 4 != 4:
+            raise IpError("not IPv4")
+        ihl = (vihl & 0xF) * 4
+        if ihl != IPV4_HEADER_SIZE:
+            raise IpError("IPv4 options unsupported")
+        if total > len(data):
+            raise IpError("truncated IPv4 packet")
+        if verify_checksum and checksum16(data[:ihl]) != 0:
+            raise IpError("bad IPv4 header checksum")
+        return cls(
+            src=bytes_to_ip(src),
+            dst=bytes_to_ip(dst),
+            proto=proto,
+            payload=data[ihl:total],
+            identification=ident,
+            ttl=ttl,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+        )
+
+
+def build_udp(src: str, sport: int, dst: str, dport: int, payload: bytes, ident: int = 0) -> bytes:
+    """A complete IPv4/UDP packet (checksum left zero, as many stacks do)."""
+    udp = UDP_HEADER.pack(sport, dport, UDP_HEADER_SIZE + len(payload), 0) + payload
+    return Ipv4Packet(src=src, dst=dst, proto=PROTO_UDP, payload=udp, identification=ident).encode()
+
+
+def parse_udp(data: bytes) -> Tuple[Ipv4Packet, int, int, bytes]:
+    """Parse an IPv4/UDP packet -> (ip, sport, dport, udp payload)."""
+    ip = Ipv4Packet.decode(data)
+    if ip.proto != PROTO_UDP:
+        raise IpError("not UDP")
+    if len(ip.payload) < UDP_HEADER_SIZE:
+        raise IpError("truncated UDP header")
+    sport, dport, length, _csum = UDP_HEADER.unpack_from(ip.payload)
+    if length > len(ip.payload):
+        raise IpError("truncated UDP payload")
+    return ip, sport, dport, ip.payload[UDP_HEADER_SIZE:length]
+
+
+def fragment(packet: Ipv4Packet, mtu: int) -> List[Ipv4Packet]:
+    """IP fragmentation for packets exceeding the tun MTU (Appx. E).
+
+    Returns [packet] unchanged when it already fits.  Raises IpError when
+    DF is set on an oversized packet (the PMTU-discovery case — senders
+    then shrink, per the appendix).
+    """
+    if packet.total_length <= mtu:
+        return [packet]
+    if packet.flags & FLAG_DF:
+        raise IpError("DF set on oversized packet (PMTU black hole)")
+    chunk = ((mtu - IPV4_HEADER_SIZE) // 8) * 8
+    if chunk <= 0:
+        raise IpError("MTU too small to fragment")
+    frags = []
+    payload = packet.payload
+    offset = 0
+    while offset < len(payload):
+        piece = payload[offset : offset + chunk]
+        last = offset + chunk >= len(payload)
+        frags.append(
+            Ipv4Packet(
+                src=packet.src,
+                dst=packet.dst,
+                proto=packet.proto,
+                payload=piece,
+                identification=packet.identification,
+                ttl=packet.ttl,
+                flags=(packet.flags & ~FLAG_MF) | (0 if last else FLAG_MF),
+                fragment_offset=packet.fragment_offset + offset // 8,
+            )
+        )
+        offset += chunk
+    return frags
+
+
+class FragmentReassembler:
+    """Reassembles fragmented IPv4 packets keyed by (src, dst, proto, id)."""
+
+    def __init__(self, timeout: float = 30.0):
+        self.timeout = timeout
+        self._partial: Dict[Tuple, Dict] = {}
+        self.reassembled = 0
+        self.timed_out = 0
+
+    def push(self, packet: Ipv4Packet, now: float = 0.0) -> Optional[Ipv4Packet]:
+        """Add a fragment; returns the whole packet when complete."""
+        if not packet.is_fragment:
+            return packet
+        key = (packet.src, packet.dst, packet.proto, packet.identification)
+        state = self._partial.setdefault(
+            key, {"pieces": {}, "total": None, "first": now}
+        )
+        state["pieces"][packet.fragment_offset * 8] = packet.payload
+        if not packet.more_fragments:
+            state["total"] = packet.fragment_offset * 8 + len(packet.payload)
+        if state["total"] is None:
+            return None
+        # complete when contiguous from 0 to total
+        have = 0
+        for off in sorted(state["pieces"]):
+            if off != have:
+                return None
+            have = off + len(state["pieces"][off])
+        if have != state["total"]:
+            return None
+        payload = b"".join(state["pieces"][off] for off in sorted(state["pieces"]))
+        del self._partial[key]
+        self.reassembled += 1
+        return Ipv4Packet(
+            src=packet.src,
+            dst=packet.dst,
+            proto=packet.proto,
+            payload=payload,
+            identification=packet.identification,
+            ttl=packet.ttl,
+        )
+
+    def expire(self, now: float) -> int:
+        """Drop stale partial reassemblies; returns how many."""
+        stale = [k for k, s in self._partial.items() if now - s["first"] > self.timeout]
+        for k in stale:
+            del self._partial[k]
+        self.timed_out += len(stale)
+        return len(stale)

@@ -1,0 +1,16 @@
+"""Congestion controllers: BBR (XNC's choice) and baselines."""
+
+from .base import CongestionController, DEFAULT_MSS, INITIAL_WINDOW, MIN_WINDOW
+from .bbr import BbrController
+from .cubic import CubicController
+from .newreno import NewRenoController
+
+__all__ = [
+    "CongestionController",
+    "DEFAULT_MSS",
+    "INITIAL_WINDOW",
+    "MIN_WINDOW",
+    "BbrController",
+    "CubicController",
+    "NewRenoController",
+]

@@ -1,0 +1,96 @@
+"""CUBIC congestion control (RFC 8312-style), for baseline variety.
+
+Production QUIC stacks default to CUBIC more often than NewReno; having
+it lets experiments separate "reliable in-order transport" effects from
+"NewReno's conservatism".  The implementation follows RFC 8312's
+essentials:
+
+* window growth follows W(t) = C·(t − K)³ + W_max after a loss event,
+  with K = cbrt(W_max·β/C) so the curve plateaus at the previous maximum
+  before probing beyond it;
+* TCP-friendly region: never slower than an emulated Reno flow;
+* fast convergence: consecutive reductions shrink the remembered W_max;
+* standard slow start until the first loss event.
+
+Like NewReno (and unlike BBR), a loss event multiplies the window by β
+= 0.7 — so on bursty cellular links CUBIC also collapses, just less
+drastically than NewReno's 0.5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
+
+#: RFC 8312 constants.
+CUBIC_C = 0.4          # scaling constant (window units: MSS, time: s)
+CUBIC_BETA = 0.7       # multiplicative decrease factor
+FAST_CONVERGENCE = True
+
+
+class CubicController(CongestionController):
+    """RFC 8312 CUBIC over the common controller interface."""
+
+    def __init__(self, mss: int = 1400):
+        super().__init__(mss)
+        self.ssthresh = float("inf")
+        self._w_max = 0.0          # window at last reduction, in MSS
+        self._k = 0.0              # time to reach w_max on the cubic curve
+        self._epoch_start: Optional[float] = None
+        self._recovery_start = -1.0
+        # Reno-emulation state for the TCP-friendly region
+        self._w_est = 0.0
+        self._acked_in_epoch = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _cwnd_mss(self) -> float:
+        return self.cwnd / self.mss
+
+    def _acked(self, size: int, rtt: float, now: float) -> None:
+        if self.in_slow_start:
+            self.cwnd += size
+            return
+        if self._epoch_start is None:
+            # first congestion-avoidance ack of this epoch
+            self._epoch_start = now
+            self._acked_in_epoch = 0.0
+            cwnd_mss = self._cwnd_mss()
+            if cwnd_mss < self._w_max:
+                self._k = ((self._w_max - cwnd_mss) / CUBIC_C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = cwnd_mss
+            self._w_est = cwnd_mss
+        t = now - self._epoch_start
+        # cubic target one RTT ahead
+        target = CUBIC_C * (t + rtt - self._k) ** 3 + self._w_max
+        # TCP-friendly estimate: Reno grows ~1 MSS per RTT, approximated
+        # per-ack as acked/cwnd with the 3(1-β)/(1+β) factor
+        self._acked_in_epoch += size / self.mss
+        reno_gain = 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA)
+        self._w_est += reno_gain * (size / max(self.cwnd, 1))
+        cwnd_mss = self._cwnd_mss()
+        grow_to = max(target, self._w_est)
+        if grow_to > cwnd_mss:
+            # approach the target over roughly one window of acks
+            increment = (grow_to - cwnd_mss) / max(cwnd_mss, 1.0) * (size / self.mss)
+            self.cwnd = int(self.cwnd + increment * self.mss)
+        self.cwnd = max(MIN_WINDOW, self.cwnd)
+
+    def _lost(self, size: int, now: float) -> None:
+        if now <= self._recovery_start:
+            return  # one reduction per recovery epoch
+        self._recovery_start = now
+        cwnd_mss = self._cwnd_mss()
+        if FAST_CONVERGENCE and cwnd_mss < self._w_max:
+            self._w_max = cwnd_mss * (1.0 + CUBIC_BETA) / 2.0
+        else:
+            self._w_max = cwnd_mss
+        self.cwnd = max(MIN_WINDOW, int(self.cwnd * CUBIC_BETA))
+        self.ssthresh = self.cwnd
+        self._epoch_start = None

@@ -1,0 +1,44 @@
+"""NewReno congestion control (RFC 9002 §7) for the reliable baselines.
+
+Slow start doubles per RTT (cwnd += acked bytes), congestion avoidance
+grows one MSS per window, and a loss halves the window once per recovery
+epoch.  Loss-based control is exactly why MPTCP/MPQUIC collapse on bursty
+cellular links — keeping it faithful matters for the comparison figures.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
+
+
+class NewRenoController(CongestionController):
+    """RFC 9002-style NewReno with recovery epochs."""
+
+    LOSS_REDUCTION_FACTOR = 0.5
+
+    def __init__(self, mss: int = 1400):
+        super().__init__(mss)
+        self.ssthresh = float("inf")
+        self._recovery_start = -1.0
+        self._last_send_time = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _sent(self, size: int, now: float) -> None:
+        self._last_send_time = now
+
+    def _acked(self, size: int, rtt: float, now: float) -> None:
+        if self.in_slow_start:
+            self.cwnd += size
+            return
+        self.cwnd += self.mss * size // max(self.cwnd, 1)
+
+    def _lost(self, size: int, now: float) -> None:
+        # one window reduction per recovery epoch
+        if now <= self._recovery_start:
+            return
+        self._recovery_start = now
+        self.cwnd = max(MIN_WINDOW, int(self.cwnd * self.LOSS_REDUCTION_FACTOR))
+        self.ssthresh = self.cwnd

@@ -1,0 +1,246 @@
+"""QUIC connection establishment and parameter negotiation.
+
+The tunnel endpoints (client on the CPE, server in the proxy) assume an
+established multipath QUIC connection.  This module models how that
+connection comes to exist — the parts of RFC 9000 / RFC 9221 / the
+multipath draft that CellFusion's bring-up depends on:
+
+* **transport parameters** — both sides advertise support for DATAGRAM
+  frames (``max_datagram_frame_size``), the multipath extension
+  (``enable_multipath``, ``initial_max_paths``) and — CellFusion's
+  private extension — the XNC coefficient-PRNG family, so the sender and
+  receiver provably agree on the ``g_s(i)`` stream (§4.3.2);
+* **connection IDs** — the server issues one CID per path (per the
+  multipath draft) so the proxy's CID→tenant mapping (§6.2) has stable
+  keys;
+* a one-RTT handshake over the emulated path, after which both sides are
+  ESTABLISHED and paths can be added up to the negotiated maximum;
+* an idle timeout that closes abandoned connections.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..emulation.events import EventLoop
+
+#: XNC's coefficient-generator family tag (both ends must match).
+XNC_PRNG_MINSTD = "minstd-gf256"
+
+_cid_counter = itertools.count(0x1000)
+
+
+class HandshakeError(Exception):
+    """Negotiation failed (incompatible parameters)."""
+
+
+@dataclass(frozen=True)
+class TransportParameters:
+    """The negotiable subset of transport parameters CellFusion needs."""
+
+    max_datagram_frame_size: int = 1500
+    enable_multipath: bool = True
+    initial_max_paths: int = 4
+    idle_timeout: float = 30.0
+    xnc_prng: str = XNC_PRNG_MINSTD
+
+    def negotiate(self, peer: "TransportParameters") -> "TransportParameters":
+        """Combine local and peer parameters into the effective set.
+
+        Datagram size and path count take the minimum; multipath requires
+        both sides; mismatched PRNG families abort the handshake because
+        coded packets would be undecodable.
+        """
+        if self.max_datagram_frame_size == 0 or peer.max_datagram_frame_size == 0:
+            raise HandshakeError("peer does not support QUIC-Datagram (RFC 9221)")
+        if self.xnc_prng != peer.xnc_prng:
+            raise HandshakeError(
+                "XNC PRNG mismatch: %s vs %s" % (self.xnc_prng, peer.xnc_prng)
+            )
+        return TransportParameters(
+            max_datagram_frame_size=min(self.max_datagram_frame_size, peer.max_datagram_frame_size),
+            enable_multipath=self.enable_multipath and peer.enable_multipath,
+            initial_max_paths=min(self.initial_max_paths, peer.initial_max_paths),
+            idle_timeout=min(self.idle_timeout, peer.idle_timeout),
+            xnc_prng=self.xnc_prng,
+        )
+
+
+@dataclass
+class ConnectionId:
+    """One issued connection ID with its sequence number and path binding."""
+
+    value: int
+    sequence: int
+    path_id: Optional[int] = None
+    retired: bool = False
+
+
+class ConnectionIdManager:
+    """Issues and retires CIDs (RFC 9000 §5.1, one per path for MP)."""
+
+    def __init__(self):
+        self._cids: Dict[int, ConnectionId] = {}
+        self._next_sequence = 0
+
+    def issue(self, path_id: Optional[int] = None) -> ConnectionId:
+        cid = ConnectionId(value=next(_cid_counter), sequence=self._next_sequence, path_id=path_id)
+        self._next_sequence += 1
+        self._cids[cid.value] = cid
+        return cid
+
+    def retire(self, value: int) -> None:
+        cid = self._cids.get(value)
+        if cid is not None:
+            cid.retired = True
+
+    def active(self) -> List[ConnectionId]:
+        return [c for c in self._cids.values() if not c.retired]
+
+    def for_path(self, path_id: int) -> Optional[ConnectionId]:
+        for c in self._cids.values():
+            if c.path_id == path_id and not c.retired:
+                return c
+        return None
+
+
+class QuicConnection:
+    """Connection state machine: handshake, paths, idle timeout."""
+
+    IDLE, HANDSHAKING, ESTABLISHED, CLOSED = "idle", "handshaking", "established", "closed"
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        is_client: bool,
+        local_params: Optional[TransportParameters] = None,
+        on_established: Optional[Callable[["QuicConnection"], None]] = None,
+    ):
+        self.loop = loop
+        self.is_client = is_client
+        self.local_params = local_params or TransportParameters()
+        self.negotiated: Optional[TransportParameters] = None
+        self.on_established = on_established
+        self.state = self.IDLE
+        self.cids = ConnectionIdManager()
+        self.paths: List[int] = []
+        self.last_activity = loop.now
+        self._idle_handle = None
+        self.peer: Optional["QuicConnection"] = None
+
+    # -- handshake --------------------------------------------------------
+
+    def connect(self, server: "QuicConnection", rtt: float = 0.050) -> None:
+        """Client-side: run the 1-RTT handshake against ``server``."""
+        if not self.is_client:
+            raise HandshakeError("connect() is client-side")
+        if self.state not in (self.IDLE,):
+            raise HandshakeError("connection already %s" % self.state)
+        self.state = self.HANDSHAKING
+        self.peer = server
+        self.loop.call_later(rtt / 2, server._on_client_hello, self, rtt)
+
+    def _on_client_hello(self, client: "QuicConnection", rtt: float) -> None:
+        if self.is_client:
+            raise HandshakeError("server role required")
+        try:
+            negotiated = self.local_params.negotiate(client.local_params)
+        except HandshakeError:
+            self.state = self.CLOSED
+            self.loop.call_later(rtt / 2, client._on_handshake_failed)
+            raise
+        self.negotiated = negotiated
+        self.peer = client
+        self.state = self.ESTABLISHED
+        self._finish_establish()
+        self.loop.call_later(rtt / 2, client._on_server_hello, negotiated)
+
+    def _on_server_hello(self, negotiated: TransportParameters) -> None:
+        self.negotiated = negotiated
+        self.state = self.ESTABLISHED
+        self._finish_establish()
+
+    def _on_handshake_failed(self) -> None:
+        self.state = self.CLOSED
+
+    def _finish_establish(self) -> None:
+        self.last_activity = self.loop.now
+        # path 0 always exists post-handshake, with its own CID
+        self.add_path()
+        self._arm_idle_timer()
+        if self.on_established is not None:
+            self.on_established(self)
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def max_paths(self) -> int:
+        if self.negotiated is None:
+            return 1
+        return self.negotiated.initial_max_paths if self.negotiated.enable_multipath else 1
+
+    def add_path(self) -> int:
+        """Open one more path (up to the negotiated maximum)."""
+        if self.state != self.ESTABLISHED:
+            raise HandshakeError("connection not established")
+        if len(self.paths) >= self.max_paths:
+            raise HandshakeError("negotiated path limit (%d) reached" % self.max_paths)
+        path_id = len(self.paths)
+        self.paths.append(path_id)
+        self.cids.issue(path_id)
+        return path_id
+
+    def cid_for_path(self, path_id: int) -> int:
+        cid = self.cids.for_path(path_id)
+        if cid is None:
+            raise HandshakeError("no CID for path %d" % path_id)
+        return cid.value
+
+    # -- liveness ----------------------------------------------------------------
+
+    def touch(self) -> None:
+        """Record activity (any packet sent or received)."""
+        self.last_activity = self.loop.now
+
+    def _arm_idle_timer(self) -> None:
+        if self.negotiated is None:
+            return
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+        self._idle_handle = self.loop.call_later(self.negotiated.idle_timeout, self._idle_check)
+
+    def _idle_check(self) -> None:
+        if self.state != self.ESTABLISHED or self.negotiated is None:
+            return
+        if self.loop.now - self.last_activity >= self.negotiated.idle_timeout:
+            self.close()
+            return
+        remaining = self.negotiated.idle_timeout - (self.loop.now - self.last_activity)
+        self._idle_handle = self.loop.call_later(remaining, self._idle_check)
+
+    def close(self) -> None:
+        self.state = self.CLOSED
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
+
+
+def establish_tunnel_connection(
+    loop: EventLoop,
+    rtt: float = 0.050,
+    client_params: Optional[TransportParameters] = None,
+    server_params: Optional[TransportParameters] = None,
+) -> tuple:
+    """Convenience: build both ends, handshake, run the loop to completion.
+
+    Returns (client_conn, server_conn), both ESTABLISHED with path 0 open.
+    """
+    client = QuicConnection(loop, is_client=True, local_params=client_params)
+    server = QuicConnection(loop, is_client=False, local_params=server_params)
+    client.connect(server, rtt=rtt)
+    loop.run_until(loop.now + rtt * 2)
+    if client.state != QuicConnection.ESTABLISHED:
+        raise HandshakeError("handshake did not complete")
+    return client, server

@@ -1,0 +1,60 @@
+"""QUIC variable-length integers (RFC 9000 §16).
+
+The two most significant bits of the first byte select the encoding
+length: 00 -> 1 byte, 01 -> 2, 10 -> 4, 11 -> 8.  Values up to 2^62 - 1.
+"""
+
+from __future__ import annotations
+
+VARINT_MAX = 2 ** 62 - 1
+
+
+class VarintError(Exception):
+    """Value out of range or truncated buffer."""
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` in the shortest QUIC varint form."""
+    if not 0 <= value <= VARINT_MAX:
+        raise VarintError("varint out of range: %r" % value)
+    if value < 0x40:
+        return bytes([value])
+    if value < 0x4000:
+        return bytes([0x40 | (value >> 8), value & 0xFF])
+    if value < 0x40000000:
+        return bytes(
+            [0x80 | (value >> 24), (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF]
+        )
+    out = bytearray(8)
+    for i in range(7, -1, -1):
+        out[i] = value & 0xFF
+        value >>= 8
+    out[0] |= 0xC0
+    return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, bytes consumed)."""
+    if offset >= len(data):
+        raise VarintError("empty buffer")
+    first = data[offset]
+    length = 1 << (first >> 6)
+    if offset + length > len(data):
+        raise VarintError("truncated varint")
+    value = first & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, length
+
+
+def varint_size(value: int) -> int:
+    """Bytes the varint encoding of ``value`` occupies."""
+    if not 0 <= value <= VARINT_MAX:
+        raise VarintError("varint out of range: %r" % value)
+    if value < 0x40:
+        return 1
+    if value < 0x4000:
+        return 2
+    if value < 0x40000000:
+        return 4
+    return 8

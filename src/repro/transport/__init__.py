@@ -1,0 +1,14 @@
+"""Shared tunnel-endpoint machinery used by XNC and every baseline."""
+
+from .base import AppPacket, ClientStats, SentInfo, TunnelClientBase, TunnelServerBase
+from .reverse import BidirectionalTunnel, ReversedEmulator
+
+__all__ = [
+    "AppPacket",
+    "ClientStats",
+    "SentInfo",
+    "TunnelClientBase",
+    "TunnelServerBase",
+    "BidirectionalTunnel",
+    "ReversedEmulator",
+]

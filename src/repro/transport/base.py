@@ -1,0 +1,459 @@
+"""Shared tunnel-endpoint machinery.
+
+Every transport under comparison (XNC, reliable MPQUIC/MPTCP with various
+schedulers, BONDING, Pluribus) is a pair of endpoints over the multipath
+emulator:
+
+* a **tunnel client** (runs on the CPE) that accepts application packets,
+  schedules them onto paths as QUIC packets, and processes ACKs arriving
+  on the downlink;
+* a **tunnel server** (runs in the edge proxy) that receives QUIC packets,
+  emits per-path ACKs on the downlink, and delivers application payloads
+  upward.
+
+This module implements the parts all of them share: per-path sent-packet
+maps, RTT sampling, standard RFC 9002 congestion-level loss accounting
+(packet threshold + time threshold), ACK emission, and the statistics the
+benchmarks read.  Policy differences — what to do when an application
+packet is deemed lost — live in the subclasses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.frames import XncNcFrame
+from ..emulation.emulator import MultipathEmulator
+from ..emulation.events import EventLoop, PeriodicTimer
+from ..multipath.path import PathManager, PathState
+from ..multipath.scheduler.base import Scheduler
+from ..quic.ack import AckRangeTracker
+from ..quic.packet import AckFrame, QuicPacket
+
+#: RFC 9002 packet reordering threshold.
+PACKET_REORDER_THRESHOLD = 3
+#: RFC 9002 time threshold factor (9/8).
+TIME_THRESHOLD_FACTOR = 1.125
+#: Server ACK delay bound.
+MAX_ACK_DELAY = 0.025
+#: Client housekeeping cadence (loss scans, pump retries).
+CLIENT_TICK = 0.002
+#: Ingress (tun-interface) queue limit in packets — Linux's default
+#: txqueuelen is 500; when the transport cannot drain the backlog the tun
+#: device drops, which is how a real-time source sheds load into a slow
+#: tunnel instead of buffering forever.
+INGRESS_QUEUE_LIMIT = 512
+
+
+@dataclass
+class AppPacket:
+    """One application (tunnelled IP) packet entering the tunnel."""
+
+    packet_id: int
+    payload: bytes
+    frame_id: Optional[int] = None
+    enqueue_time: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class SentInfo:
+    """Book-keeping for one transmitted QUIC packet on one path."""
+
+    packet_number: int
+    path_id: int
+    size: int
+    sent_time: float
+    app_ids: Tuple[int, ...] = ()
+    is_recovery: bool = False
+    acked: bool = False
+    cc_lost: bool = False
+    qoe_fired: bool = False
+
+
+@dataclass
+class ClientStats:
+    """Traffic accounting for redundancy/goodput figures."""
+
+    app_packets_in: int = 0
+    app_bytes_in: int = 0
+    first_tx_packets: int = 0
+    first_tx_bytes: int = 0
+    retx_packets: int = 0
+    retx_bytes: int = 0
+    recovery_packets: int = 0
+    recovery_bytes: int = 0
+    duplicate_packets: int = 0
+    duplicate_bytes: int = 0
+    expired_packets: int = 0
+    ingress_dropped: int = 0
+    acks_received: int = 0
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Retransmitted+coded+duplicated bytes over first-transmission bytes
+        (the paper's 'retrans ratio')."""
+        extra = self.retx_bytes + self.recovery_bytes + self.duplicate_bytes
+        return extra / self.first_tx_bytes if self.first_tx_bytes else 0.0
+
+
+class TunnelClientBase:
+    """Common client: queueing, scheduling, ACK processing, cc loss."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        paths: PathManager,
+        scheduler: Scheduler,
+        tick: float = CLIENT_TICK,
+        ingress_limit: int = INGRESS_QUEUE_LIMIT,
+        connection_id: int = 0,
+    ):
+        self.loop = loop
+        self.emulator = emulator
+        self.paths = paths
+        self.scheduler = scheduler
+        self.ingress_limit = ingress_limit
+        #: Distinguishes this connection's packets when several tunnels
+        #: share the same links (e.g. the bidirectional tunnel).
+        self.connection_id = connection_id
+        #: Floor on the retransmission timeout.  0 for QUIC-style PTO;
+        #: kernel TCP (hence MPTCP) enforces RTO_min = 200 ms, one of the
+        #: reasons it recovers slowly on cellular links.
+        self.rto_min = 0.0
+        self.stats = ClientStats()
+        self._queue: Deque[AppPacket] = deque()
+        self._next_app_id = 0
+        # per path: packet number -> SentInfo, plus send-order pn deque
+        self._sent: Dict[int, Dict[int, SentInfo]] = {p.path_id: {} for p in paths}
+        self._sent_order: Dict[int, Deque[int]] = {p.path_id: deque() for p in paths}
+        self._largest_acked: Dict[int, int] = {p.path_id: -1 for p in paths}
+        emulator.attach_client(self._on_downlink)
+        self._timer = PeriodicTimer(loop, tick, self._on_tick)
+        self._timer.start(first_delay=tick)
+        self.closed = False
+
+    # -- application ingress -------------------------------------------------
+
+    def send_app_packet(self, payload: bytes, frame_id: Optional[int] = None) -> Optional[int]:
+        """Accept one application packet into the tunnel; returns its ID,
+        or None when the ingress (tun) queue tail-dropped it."""
+        self.stats.app_packets_in += 1
+        self.stats.app_bytes_in += len(payload)
+        if len(self._queue) >= self.ingress_limit:
+            self.stats.ingress_dropped += 1
+            return None
+        pkt = AppPacket(self._next_app_id, bytes(payload), frame_id, self.loop.now)
+        self._next_app_id += 1
+        self._queue.append(pkt)
+        self._on_app_packet_queued(pkt)
+        self._pump()
+        return pkt.packet_id
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(p.size for p in self._queue)
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _on_app_packet_queued(self, pkt: AppPacket) -> None:
+        """Called when an app packet enters the queue (e.g. pool register)."""
+
+    def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
+        """Wire frame for a first transmission of ``pkt``."""
+        raise NotImplementedError
+
+    def _on_app_acked(self, app_ids: Sequence[int], info: SentInfo) -> None:
+        """App packets confirmed delivered (first ACK of a carrying packet)."""
+
+    def _on_cc_lost(self, info: SentInfo, now: float) -> None:
+        """Transport-level loss (policy: requeue, code, or ignore)."""
+
+    def _on_tick_hook(self, now: float) -> None:
+        """Periodic housekeeping for subclasses."""
+
+    def _queue_entry_stale(self, pkt: AppPacket, now: float) -> bool:
+        """True when a still-queued packet should be dropped unsent
+        (real-time transports abandon stale video; reliable ones never do)."""
+        return False
+
+    def _on_queue_entry_dropped(self, pkt: AppPacket) -> None:
+        """Called when a stale queued packet is abandoned."""
+
+    # -- scheduling / transmission ------------------------------------------
+
+    def _pump(self) -> None:
+        """Drain the app queue through the scheduler while windows allow."""
+        if self.closed:
+            return
+        guard = 0
+        while self._queue:
+            pkt = self._queue[0]
+            if self._queue_entry_stale(pkt, self.loop.now):
+                self._queue.popleft()
+                self.stats.expired_packets += 1
+                self._on_queue_entry_dropped(pkt)
+                continue
+            frame = self._build_frame(pkt)
+            wire_estimate = frame.wire_size + 56
+            if hasattr(self.scheduler, "queued_bytes_hint"):
+                self.scheduler.queued_bytes_hint = self.backlog_bytes
+            targets = self.scheduler.select(self.paths.all(), wire_estimate, self.loop.now)
+            if not targets:
+                return
+            self._queue.popleft()
+            for i, path in enumerate(targets):
+                is_dup = i > 0
+                self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError("pump loop runaway")
+
+    def _transmit_frame(
+        self,
+        path: PathState,
+        frame: XncNcFrame,
+        app_ids: Tuple[int, ...],
+        is_recovery: bool,
+        is_dup: bool = False,
+        is_retx: bool = False,
+    ) -> SentInfo:
+        """Wrap one frame into a QUIC packet and put it on a path."""
+        pn = path.next_packet_number()
+        qpkt = QuicPacket(
+            path_id=path.path_id,
+            packet_number=pn,
+            frames=[frame],
+            sent_time=self.loop.now,
+            connection_id=self.connection_id,
+        )
+        size = qpkt.wire_size
+        info = SentInfo(pn, path.path_id, size, self.loop.now, app_ids, is_recovery)
+        self._sent[path.path_id][pn] = info
+        self._sent_order[path.path_id].append(pn)
+        path.on_sent(size, self.loop.now)
+        if is_recovery:
+            self.stats.recovery_packets += 1
+            self.stats.recovery_bytes += size
+        elif is_dup:
+            self.stats.duplicate_packets += 1
+            self.stats.duplicate_bytes += size
+        elif is_retx:
+            self.stats.retx_packets += 1
+            self.stats.retx_bytes += size
+        else:
+            self.stats.first_tx_packets += 1
+            self.stats.first_tx_bytes += size
+        self.emulator.send_uplink(path.path_id, qpkt, size)
+        return info
+
+    # -- downlink (ACK) processing --------------------------------------------
+
+    def _on_downlink(self, path_id: int, payload: Any, now: float) -> None:
+        if self.closed or not isinstance(payload, QuicPacket):
+            return
+        if payload.connection_id != self.connection_id:
+            return  # another tunnel's traffic on the shared links
+        for frame in payload.ack_frames():
+            self._process_ack(frame, now)
+        self._pump()
+
+    def _process_ack(self, ack: AckFrame, now: float) -> None:
+        self.stats.acks_received += 1
+        path = self.paths.get(ack.path_id)
+        sent_map = self._sent[ack.path_id]
+        order = self._sent_order[ack.path_id]
+        # everything below the oldest outstanding pn is already resolved;
+        # clamping keeps ACK processing O(outstanding), not O(history)
+        floor = order[0] if order else (self._largest_acked[ack.path_id] + 1)
+        newly_acked: List[SentInfo] = []
+        for low, high in ack.ranges:
+            if high < floor:
+                continue
+            for pn in range(max(low, floor), high + 1):
+                info = sent_map.get(pn)
+                if info is None or info.acked:
+                    continue
+                info.acked = True
+                newly_acked.append(info)
+        if not newly_acked:
+            return
+        self._largest_acked[ack.path_id] = max(self._largest_acked[ack.path_id], ack.largest)
+        # RTT sample from the largest newly-acked packet
+        largest_info = max(newly_acked, key=lambda i: i.packet_number)
+        if largest_info.packet_number == ack.largest:
+            rtt_sample = max(1e-4, now - largest_info.sent_time)
+            path.on_acked(largest_info.size, rtt_sample, ack.ack_delay, now)
+            cc_acked = [i for i in newly_acked if i is not largest_info]
+        else:
+            cc_acked = newly_acked
+        for info in cc_acked:
+            path.cc.on_ack(info.size, max(1e-4, now - info.sent_time), now)
+            path.packets_acked += 1
+            path.last_ack_time = now
+        for info in newly_acked:
+            if info.app_ids and not info.cc_lost:
+                self._on_app_acked(info.app_ids, info)
+        # packet-threshold loss: unacked packets well below largest acked
+        threshold_pn = self._largest_acked[ack.path_id] - PACKET_REORDER_THRESHOLD
+        self._detect_cc_losses(ack.path_id, now, threshold_pn)
+        self._gc_sent(ack.path_id)
+
+    # -- loss detection (transport level) ------------------------------------
+
+    def _cc_time_threshold(self, path: PathState) -> float:
+        rtt = max(path.rtt.smoothed_rtt, path.rtt.latest_rtt or path.rtt.smoothed_rtt)
+        return TIME_THRESHOLD_FACTOR * rtt
+
+    def _detect_cc_losses(self, path_id: int, now: float, threshold_pn: int = -1) -> None:
+        path = self.paths.get(path_id)
+        sent_map = self._sent[path_id]
+        time_limit = max(self._cc_time_threshold(path), self.rto_min)
+        pto_limit = max(path.rtt.pto() * 1.5, self.rto_min)
+        for pn in list(sent_map):
+            info = sent_map[pn]
+            if info.acked or info.cc_lost:
+                continue
+            overdue = now - info.sent_time
+            lost = False
+            if pn <= threshold_pn and overdue >= time_limit:
+                lost = True
+            elif overdue >= pto_limit:
+                lost = True
+            if not lost:
+                continue
+            info.cc_lost = True
+            path.on_lost(info.size, now)
+            if not info.is_recovery:
+                self._on_cc_lost(info, now)
+
+    def _gc_sent(self, path_id: int) -> None:
+        """Drop acked/lost entries from the front of the send-order deque."""
+        order = self._sent_order[path_id]
+        sent_map = self._sent[path_id]
+        while order:
+            pn = order[0]
+            info = sent_map.get(pn)
+            if info is None or info.acked or info.cc_lost:
+                order.popleft()
+                sent_map.pop(pn, None)
+                continue
+            break
+
+    # -- timers ---------------------------------------------------------------
+
+    def _on_tick(self) -> None:
+        if self.closed:
+            return
+        now = self.loop.now
+        for path in self.paths:
+            self._detect_cc_losses(path.path_id, now)
+            self._gc_sent(path.path_id)
+        self._on_tick_hook(now)
+        self._pump()
+
+    def close(self) -> None:
+        self.closed = True
+        self._timer.stop()
+
+    # -- introspection ---------------------------------------------------------
+
+    def in_flight_infos(self, path_id: int) -> List[SentInfo]:
+        return [i for i in self._sent[path_id].values() if not i.acked and not i.cc_lost]
+
+
+class TunnelServerBase:
+    """Common server: per-path ACK tracking and emission, app delivery."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        on_app_packet: Callable[[int, bytes, float], None],
+        ack_every: int = 2,
+        max_ack_delay: float = MAX_ACK_DELAY,
+        connection_id: int = 0,
+    ):
+        self.loop = loop
+        self.emulator = emulator
+        self.on_app_packet = on_app_packet
+        self.connection_id = connection_id
+        self.ack_every = ack_every
+        self.max_ack_delay = max_ack_delay
+        self._trackers: Dict[int, AckRangeTracker] = {
+            pid: AckRangeTracker(pid) for pid in emulator.path_ids()
+        }
+        self._unacked_count: Dict[int, int] = {pid: 0 for pid in emulator.path_ids()}
+        self._ack_timer_handles: Dict[int, Any] = {}
+        self.packets_received = 0
+        self.duplicates = 0
+        emulator.attach_server(self._on_uplink)
+        self.closed = False
+
+    # -- subclass hook ---------------------------------------------------------
+
+    def _handle_frame(self, path_id: int, frame: XncNcFrame, now: float) -> None:
+        """Consume one data frame (decode, reorder, deliver...)."""
+        raise NotImplementedError
+
+    # -- uplink processing -------------------------------------------------------
+
+    def _on_uplink(self, path_id: int, payload: Any, now: float) -> None:
+        if self.closed or not isinstance(payload, QuicPacket):
+            return
+        if payload.connection_id != self.connection_id:
+            return  # another tunnel's traffic on the shared links
+        self.packets_received += 1
+        tracker = self._trackers[path_id]
+        fresh = tracker.on_received(payload.packet_number, now)
+        if not fresh:
+            self.duplicates += 1
+        for frame in payload.xnc_frames():
+            self._handle_frame(path_id, frame, now)
+        if payload.is_ack_eliciting:
+            self._unacked_count[path_id] += 1
+            if self._unacked_count[path_id] >= self.ack_every:
+                self._emit_ack(path_id)
+            elif path_id not in self._ack_timer_handles:
+                handle = self.loop.call_later(self.max_ack_delay, self._emit_ack_timer, path_id)
+                self._ack_timer_handles[path_id] = handle
+
+    def _emit_ack_timer(self, path_id: int) -> None:
+        self._ack_timer_handles.pop(path_id, None)
+        self._emit_ack(path_id)
+
+    def _emit_ack(self, path_id: int) -> None:
+        if self.closed:
+            return
+        handle = self._ack_timer_handles.pop(path_id, None)
+        if handle is not None:
+            handle.cancel()
+        tracker = self._trackers[path_id]
+        ack = tracker.build_ack(self.loop.now)
+        if ack is None:
+            return
+        self._unacked_count[path_id] = 0
+        pkt = QuicPacket(
+            path_id=path_id,
+            packet_number=-1,
+            frames=[ack],
+            sent_time=self.loop.now,
+            connection_id=self.connection_id,
+        )
+        self.emulator.send_downlink(path_id, pkt, pkt.wire_size)
+
+    def close(self) -> None:
+        self.closed = True
+        for handle in self._ack_timer_handles.values():
+            handle.cancel()
+        self._ack_timer_handles.clear()

@@ -1,0 +1,189 @@
+"""Downlink data plane: cloud-to-vehicle traffic through the same tunnel.
+
+§3.2: "The downlink flow is similar to the uplink but in the reverse
+direction."  Teleoperated driving needs it — steering/throttle commands
+and operator audio ride cloud→vehicle while the camera feeds ride up.
+
+The tunnel endpoints are direction-agnostic: they talk to "the emulator"
+through ``send_uplink`` / ``attach_server`` / etc.  A
+:class:`ReversedEmulator` presents the same interface with the directions
+swapped, so the *proxy* can run an unmodified ``XncTunnelClient`` (its
+"uplink" is the real downlink) and the *CPE* an unmodified
+``XncTunnelServer``.  :class:`BidirectionalTunnel` bundles both
+directions over one emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..emulation.emulator import MultipathEmulator
+from ..emulation.events import EventLoop
+from ..multipath.path import PathManager, PathState
+from ..quic.cc.bbr import BbrController
+
+
+class ReversedEmulator:
+    """The emulator with uplink and downlink swapped.
+
+    The real emulator's *downlink* carries this view's "uplink" traffic
+    and vice versa, letting unmodified endpoint classes drive the reverse
+    direction.  Both views share the underlying links, so uplink video
+    and downlink control genuinely contend for the same capacity.
+    """
+
+    def __init__(self, emulator: MultipathEmulator):
+        self._emulator = emulator
+        self.loop = emulator.loop
+        self.channels = emulator.channels
+
+    @property
+    def path_count(self) -> int:
+        return self._emulator.path_count
+
+    def path_ids(self) -> List[int]:
+        return self._emulator.path_ids()
+
+    def attach_server(self, on_uplink: Callable[[int, Any, float], None]) -> None:
+        # the reversed server listens where the real client would
+        self._emulator.attach_client(on_uplink)
+
+    def attach_client(self, on_downlink: Callable[[int, Any, float], None]) -> None:
+        self._emulator.attach_server(on_downlink)
+
+    def send_uplink(self, path_id: int, payload: Any, size: int) -> bool:
+        return self._emulator.send_downlink(path_id, payload, size)
+
+    def send_downlink(self, path_id: int, payload: Any, size: int) -> bool:
+        return self._emulator.send_uplink(path_id, payload, size)
+
+    def uplink_stats(self) -> Dict[int, Any]:
+        return self._emulator.downlink_stats()
+
+    def downlink_stats(self) -> Dict[int, Any]:
+        return self._emulator.uplink_stats()
+
+
+class _SharedDispatch:
+    """Fan one emulator callback out to both directions' endpoints.
+
+    The forward direction's client and the reverse direction's server
+    both need the real downlink deliveries (ACKs for one, data for the
+    other); payload objects are QUIC packets either way, and each
+    endpoint ignores frames that aren't for it, so fan-out is safe.
+    """
+
+    def __init__(self):
+        self._sinks: List[Callable[[int, Any, float], None]] = []
+
+    def add(self, sink: Callable[[int, Any, float], None]) -> None:
+        self._sinks.append(sink)
+
+    def __call__(self, path_id: int, payload: Any, now: float) -> None:
+        for sink in self._sinks:
+            sink(path_id, payload, now)
+
+
+class BidirectionalTunnel:
+    """Full-duplex XNC tunnel: video up, control down, same links.
+
+    ``on_uplink_packet`` receives vehicle->cloud deliveries at the proxy;
+    ``on_downlink_packet`` receives cloud->vehicle deliveries at the CPE.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        emulator: MultipathEmulator,
+        on_uplink_packet: Callable[[int, bytes, float], None],
+        on_downlink_packet: Callable[[int, bytes, float], None],
+        up_config: Optional["XncConfig"] = None,
+        down_config: Optional["XncConfig"] = None,
+    ):
+        # imported here to avoid a cycle: core.endpoint builds on
+        # transport.base, which shares this package
+        from ..core.endpoint import XncConfig, XncTunnelClient, XncTunnelServer
+
+        self.loop = loop
+        # fan-out points, installed before endpoints attach themselves
+        self._to_cloud_side = _SharedDispatch()
+        self._to_vehicle_side = _SharedDispatch()
+        emulator.attach_server(self._to_cloud_side)  # real uplink arrivals
+        emulator.attach_client(self._to_vehicle_side)  # real downlink arrivals
+
+        forward_view = _DispatchingEmulator(emulator, self._to_cloud_side, self._to_vehicle_side)
+        reverse_view = ReversedEmulator(forward_view)
+
+        # vehicle -> cloud (video): connection 1
+        self.uplink_server = XncTunnelServer(loop, forward_view, on_uplink_packet, connection_id=1)
+        self.uplink_client = XncTunnelClient(
+            loop, forward_view, _paths(emulator), up_config or XncConfig()
+        )
+        self.uplink_client.connection_id = 1
+        # cloud -> vehicle (control): connection 2
+        self.downlink_server = XncTunnelServer(loop, reverse_view, on_downlink_packet, connection_id=2)
+        self.downlink_client = XncTunnelClient(
+            loop, reverse_view, _paths(emulator), down_config or XncConfig(seed=29)
+        )
+        self.downlink_client.connection_id = 2
+
+    def send_up(self, payload: bytes, frame_id: Optional[int] = None) -> Optional[int]:
+        """Vehicle app -> cloud."""
+        return self.uplink_client.send_app_packet(payload, frame_id)
+
+    def send_down(self, payload: bytes, frame_id: Optional[int] = None) -> Optional[int]:
+        """Cloud app -> vehicle."""
+        return self.downlink_client.send_app_packet(payload, frame_id)
+
+    def close(self) -> None:
+        for endpoint in (
+            self.uplink_client,
+            self.uplink_server,
+            self.downlink_client,
+            self.downlink_server,
+        ):
+            endpoint.close()
+
+
+class _DispatchingEmulator:
+    """Emulator facade whose attach_* add to shared dispatchers instead of
+    replacing the sink (so forward and reverse endpoints coexist)."""
+
+    def __init__(self, emulator: MultipathEmulator, up_dispatch: _SharedDispatch, down_dispatch: _SharedDispatch):
+        self._emulator = emulator
+        self._up = up_dispatch
+        self._down = down_dispatch
+        self.loop = emulator.loop
+        self.channels = emulator.channels
+
+    @property
+    def path_count(self) -> int:
+        return self._emulator.path_count
+
+    def path_ids(self) -> List[int]:
+        return self._emulator.path_ids()
+
+    def attach_server(self, sink) -> None:
+        self._up.add(sink)
+
+    def attach_client(self, sink) -> None:
+        self._down.add(sink)
+
+    def send_uplink(self, path_id: int, payload: Any, size: int) -> bool:
+        return self._emulator.send_uplink(path_id, payload, size)
+
+    def send_downlink(self, path_id: int, payload: Any, size: int) -> bool:
+        return self._emulator.send_downlink(path_id, payload, size)
+
+    def uplink_stats(self):
+        return self._emulator.uplink_stats()
+
+    def downlink_stats(self):
+        return self._emulator.downlink_stats()
+
+
+def _paths(emulator: MultipathEmulator) -> PathManager:
+    manager = PathManager()
+    for pid in emulator.path_ids():
+        manager.add(PathState(pid, name=emulator.channels[pid].name, cc=BbrController(), initial_rtt=0.05))
+    return manager

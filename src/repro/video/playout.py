@@ -1,0 +1,136 @@
+"""Playout-buffer simulation over reception records.
+
+The QoE analyser (Appendix C) computes the paper's metrics directly from
+frame-completion times.  A live *viewer*, though, sits behind a playout
+buffer: frames are displayed on a fixed schedule ``capture + playout_delay``;
+a frame that hasn't completed by its slot either freezes the screen
+(buffer underrun) or, past a skip threshold, is skipped to re-sync.
+
+This module post-processes the same :class:`FrameRecord` stream under an
+explicit playout policy — useful for questions the paper's tooling
+doesn't ask, like "what's the smallest playout delay at which this drive
+plays cleanly?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .receiver import FrameRecord
+
+
+@dataclass
+class PlayoutPolicy:
+    """Fixed-delay playout with freeze-then-skip semantics."""
+
+    playout_delay: float = 0.150
+    #: freeze at most this long waiting for a late frame, then skip it
+    skip_after: float = 0.500
+
+    def __post_init__(self):
+        if self.playout_delay < 0 or self.skip_after < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass
+class PlayoutEvent:
+    """What happened to one frame at the screen."""
+
+    frame_id: int
+    scheduled: float
+    displayed: Optional[float]  # None = skipped
+    freeze_before: float = 0.0
+
+    @property
+    def on_time(self) -> bool:
+        return self.displayed is not None and self.freeze_before == 0.0
+
+
+@dataclass
+class PlayoutReport:
+    """Viewer-side outcome of one session under a playout policy."""
+
+    events: List[PlayoutEvent]
+    policy: PlayoutPolicy
+
+    @property
+    def displayed_frames(self) -> int:
+        return sum(1 for e in self.events if e.displayed is not None)
+
+    @property
+    def skipped_frames(self) -> int:
+        return sum(1 for e in self.events if e.displayed is None)
+
+    @property
+    def total_freeze_time(self) -> float:
+        return sum(e.freeze_before for e in self.events)
+
+    @property
+    def on_time_fraction(self) -> float:
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.on_time) / len(self.events)
+
+
+def simulate_playout(
+    frames: Sequence[FrameRecord], policy: Optional[PlayoutPolicy] = None
+) -> PlayoutReport:
+    """Run the playout clock over reception records.
+
+    Frames are taken in ID order; frame i's slot is
+    ``capture_ts + playout_delay`` (shifted later by accumulated freezes,
+    as a real player's clock would be).
+    """
+    policy = policy or PlayoutPolicy()
+    events: List[PlayoutEvent] = []
+    clock_shift = 0.0
+    for record in frames:
+        scheduled = record.capture_ts + policy.playout_delay + clock_shift
+        ready = record.complete_time
+        if record.expected_packets == 0:
+            ready = None  # never seen at all
+        if ready is None:
+            # wait out the skip window, then drop the frame
+            events.append(
+                PlayoutEvent(record.frame_id, scheduled, None, freeze_before=policy.skip_after)
+            )
+            clock_shift += policy.skip_after
+            continue
+        if ready <= scheduled:
+            events.append(PlayoutEvent(record.frame_id, scheduled, scheduled))
+            continue
+        lateness = ready - scheduled
+        if lateness <= policy.skip_after:
+            events.append(
+                PlayoutEvent(record.frame_id, scheduled, ready, freeze_before=lateness)
+            )
+            clock_shift += lateness
+        else:
+            events.append(
+                PlayoutEvent(record.frame_id, scheduled, None, freeze_before=policy.skip_after)
+            )
+            clock_shift += policy.skip_after
+    return PlayoutReport(events=events, policy=policy)
+
+
+def minimum_clean_playout_delay(
+    frames: Sequence[FrameRecord],
+    candidates: Sequence[float] = (0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0),
+    max_freeze: float = 0.0,
+    max_skip_fraction: float = 0.01,
+) -> Optional[float]:
+    """Smallest candidate delay at which the session plays "cleanly".
+
+    Clean = total freeze time <= ``max_freeze`` and skipped frames <=
+    ``max_skip_fraction`` of the stream.  Returns None if no candidate
+    qualifies — the drive was too rough for the offered buffer depths.
+    """
+    for delay in sorted(candidates):
+        report = simulate_playout(frames, PlayoutPolicy(playout_delay=delay))
+        if not report.events:
+            return None
+        skip_frac = report.skipped_frames / len(report.events)
+        if report.total_freeze_time <= max_freeze and skip_frac <= max_skip_fraction:
+            return delay
+    return None

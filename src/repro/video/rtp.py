@@ -1,0 +1,149 @@
+"""RTP packetisation (RFC 3550) for the tunnelled video stream.
+
+CellFusion tunnels the application's own protocols — the road tests
+stream RTSP/RTP over UDP (§8) — and XNC's range-border logic can
+optionally detect video frame borders from "an RTP header with extension
+marking" (§4.4.2).  This module implements exactly that slice of RTP:
+
+* the fixed 12-byte header (version/padding/extension/CC, marker +
+  payload type, sequence number, timestamp, SSRC);
+* the marker bit set on the *last* packet of a frame (standard for
+  video payloads), which is what the border detector keys on;
+* a one-word header extension carrying the frame ID, mirroring the
+  reference video's frame stamps (Appx. C).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+RTP_VERSION = 2
+RTP_HEADER = struct.Struct("!BBHII")
+RTP_HEADER_SIZE = RTP_HEADER.size  # 12
+#: Extension: profile id (2B) + length-in-words (2B) + frame id word (4B).
+EXTENSION_PROFILE = 0xCF02
+EXTENSION_SIZE = 8
+#: Dynamic payload type conventionally used for H.264 video.
+DEFAULT_PAYLOAD_TYPE = 96
+#: 90 kHz video clock (RFC 3551).
+VIDEO_CLOCK_HZ = 90_000
+
+
+class RtpError(Exception):
+    """Malformed RTP packet."""
+
+
+@dataclass(frozen=True)
+class RtpPacket:
+    """One parsed RTP packet."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    marker: bool
+    payload: bytes
+    frame_id: Optional[int] = None  # from the header extension, if present
+
+    def encode(self) -> bytes:
+        has_ext = self.frame_id is not None
+        b0 = (RTP_VERSION << 6) | (0x10 if has_ext else 0)
+        b1 = (0x80 if self.marker else 0) | (self.payload_type & 0x7F)
+        header = RTP_HEADER.pack(b0, b1, self.sequence & 0xFFFF, self.timestamp & 0xFFFFFFFF, self.ssrc)
+        ext = b""
+        if has_ext:
+            ext = struct.pack("!HHI", EXTENSION_PROFILE, 1, self.frame_id & 0xFFFFFFFF)
+        return header + ext + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtpPacket":
+        if len(data) < RTP_HEADER_SIZE:
+            raise RtpError("truncated RTP header")
+        b0, b1, seq, ts, ssrc = RTP_HEADER.unpack_from(data)
+        if b0 >> 6 != RTP_VERSION:
+            raise RtpError("not RTP version 2")
+        csrc_count = b0 & 0x0F
+        offset = RTP_HEADER_SIZE + 4 * csrc_count
+        frame_id = None
+        if b0 & 0x10:  # extension present
+            if len(data) < offset + 4:
+                raise RtpError("truncated RTP extension header")
+            profile, words = struct.unpack_from("!HH", data, offset)
+            ext_end = offset + 4 + words * 4
+            if len(data) < ext_end:
+                raise RtpError("truncated RTP extension body")
+            if profile == EXTENSION_PROFILE and words >= 1:
+                (frame_id,) = struct.unpack_from("!I", data, offset + 4)
+            offset = ext_end
+        return cls(
+            payload_type=b1 & 0x7F,
+            sequence=seq,
+            timestamp=ts,
+            ssrc=ssrc,
+            marker=bool(b1 & 0x80),
+            payload=data[offset:],
+            frame_id=frame_id,
+        )
+
+
+class RtpPacketizer:
+    """Splits encoded frames into RTP packets, marker on the last."""
+
+    def __init__(self, ssrc: int = 0xC311F051, payload_type: int = DEFAULT_PAYLOAD_TYPE,
+                 mtu_payload: int = 1188, fps: float = 30.0):
+        if mtu_payload <= 0:
+            raise ValueError("mtu_payload must be positive")
+        self.ssrc = ssrc
+        self.payload_type = payload_type
+        self.mtu_payload = mtu_payload
+        self.fps = fps
+        self._sequence = 0
+
+    def packetize(self, frame_id: int, frame_bytes: bytes) -> List[RtpPacket]:
+        """One frame -> RTP packets (≥1 even for an empty frame)."""
+        timestamp = int(frame_id * VIDEO_CLOCK_HZ / self.fps)
+        chunks = [
+            frame_bytes[i : i + self.mtu_payload]
+            for i in range(0, max(len(frame_bytes), 1), self.mtu_payload)
+        ]
+        packets = []
+        for i, chunk in enumerate(chunks):
+            packets.append(
+                RtpPacket(
+                    payload_type=self.payload_type,
+                    sequence=self._sequence,
+                    timestamp=timestamp,
+                    ssrc=self.ssrc,
+                    marker=(i == len(chunks) - 1),
+                    payload=chunk,
+                    frame_id=frame_id,
+                )
+            )
+            self._sequence = (self._sequence + 1) & 0xFFFF
+        return packets
+
+
+def sniff_frame_border(payload: bytes) -> Optional[bool]:
+    """Best-effort frame-border detection on tunnelled traffic (§4.4.2).
+
+    Returns True when ``payload`` parses as RTP and carries the marker bit
+    (last packet of a frame), False when it parses without the marker, and
+    None when it isn't recognisable RTP — e.g. end-to-end encrypted
+    traffic, for which the border condition simply stays off.
+    """
+    try:
+        packet = RtpPacket.decode(payload)
+    except RtpError:
+        return None
+    return packet.marker
+
+
+def sniff_frame_id(payload: bytes) -> Optional[int]:
+    """Frame ID from the RTP extension, when present and recognisable."""
+    try:
+        packet = RtpPacket.decode(payload)
+    except RtpError:
+        return None
+    return packet.frame_id

@@ -1,0 +1,101 @@
+"""Proxy container autoscaling (§6.1)."""
+
+import pytest
+
+from repro.cloud.autoscaler import AutoscalerPolicy, ProxyAutoscaler
+from repro.cloud.pop import PopNode
+
+
+def pop_with_sessions(n, pop_id="pop0"):
+    pop = PopNode(pop_id, "r", (0.0, 0.0), capacity_sessions=1000)
+    pop.active_sessions = n
+    return pop
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        AutoscalerPolicy()
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(scale_down_threshold=0.9)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(min_containers=0)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(sessions_per_container=0)
+
+
+class TestScaling:
+    def test_scales_up_under_load(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pop = pop_with_sessions(60)  # util 60/25 = 2.4 on 1 container
+        decision = scaler.evaluate(pop, now=0.0)
+        assert decision is not None and decision.direction == "up"
+        assert scaler.capacity("pop0") >= 60 / 0.85
+
+    def test_converges_to_target_band(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pop = pop_with_sessions(200)
+        for t in range(10):
+            scaler.evaluate(pop, now=float(t))
+        util = scaler.utilisation(pop)
+        assert 0.40 <= util <= 0.85
+
+    def test_scales_down_when_idle(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pop = pop_with_sessions(200)
+        for t in range(10):
+            scaler.evaluate(pop, now=float(t))
+        high = scaler.containers("pop0")
+        pop.active_sessions = 10
+        for t in range(10, 30):
+            scaler.evaluate(pop, now=float(t))
+        assert scaler.containers("pop0") < high
+        assert scaler.containers("pop0") >= 1
+
+    def test_never_below_min(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(cooldown=0))
+        pop = pop_with_sessions(0)
+        for t in range(5):
+            scaler.evaluate(pop, now=float(t))
+        assert scaler.containers("pop0") >= 1
+
+    def test_step_rate_limited(self):
+        policy = AutoscalerPolicy(sessions_per_container=10, max_step=2, cooldown=0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(500)
+        decision = scaler.evaluate(pop, now=0.0)
+        assert decision.to_containers - decision.from_containers <= 2
+
+    def test_cooldown_blocks_flapping(self):
+        policy = AutoscalerPolicy(sessions_per_container=10, cooldown=30.0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(100)
+        assert scaler.evaluate(pop, now=0.0) is not None
+        assert scaler.evaluate(pop, now=5.0) is None
+        assert scaler.evaluate(pop, now=31.0) is not None
+
+    def test_in_band_no_action(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pop = pop_with_sessions(18)  # util 0.72 on 1 container: in band
+        assert scaler.evaluate(pop, now=0.0) is None
+
+    def test_capacity_cap(self):
+        policy = AutoscalerPolicy(sessions_per_container=10, max_containers=3, max_step=10, cooldown=0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(10_000)
+        for t in range(5):
+            scaler.evaluate(pop, now=float(t))
+        assert scaler.containers("pop0") == 3
+
+    def test_fleet_evaluation(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pops = [pop_with_sessions(60, "a"), pop_with_sessions(5, "b")]
+        decisions = scaler.evaluate_fleet(pops, now=0.0)
+        assert {d.pop_id for d in decisions} == {"a"}
+
+    def test_scaling_updates_pop_capacity(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25, cooldown=0))
+        pop = pop_with_sessions(60)
+        scaler.evaluate(pop, now=0.0)
+        assert pop.capacity_sessions == scaler.capacity("pop0")

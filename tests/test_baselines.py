@@ -1,0 +1,211 @@
+"""Baseline transports: reliable in-order tunnels, BONDING, Pluribus."""
+
+import pytest
+
+from repro.baselines.bonding import BondingTunnelClient, UnlimitedController, build_bonding_paths
+from repro.baselines.pluribus import PluribusConfig, PluribusTunnelClient
+from repro.baselines.reliable import (
+    InOrderTunnelServer,
+    ReliableTunnelClient,
+    UnorderedTunnelServer,
+)
+from repro.core.endpoint import XncTunnelServer
+from repro.emulation.emulator import MultipathEmulator
+from repro.emulation.events import EventLoop
+from repro.emulation.trace import LinkTrace, LossProcess, opportunities_from_rate
+from repro.multipath.path import PathManager, PathState
+from repro.multipath.scheduler.minrtt import MinRttScheduler
+from repro.multipath.scheduler.redundant import RedundantScheduler
+from repro.quic.cc.base import CongestionController
+
+
+def build_net(rate=20.0, duration=30.0, loss_probs=None, n_paths=2, seed=0):
+    loop = EventLoop()
+    traces = []
+    for i in range(n_paths):
+        loss = LossProcess.constant(loss_probs[i]) if loss_probs else LossProcess.zero()
+        traces.append(
+            LinkTrace("p%d" % i, opportunities_from_rate(rate, duration), duration,
+                      base_delay=0.01, loss=loss)
+        )
+    emu = MultipathEmulator(loop, traces, seed=seed)
+    return loop, emu
+
+
+def std_paths(emu):
+    return PathManager([PathState(i, cc=CongestionController()) for i in emu.path_ids()])
+
+
+class TestReliableTunnel:
+    def test_in_order_delivery(self):
+        loop, emu = build_net()
+        received = []
+        server = InOrderTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = ReliableTunnelClient(loop, emu, std_paths(emu), MinRttScheduler())
+        for i in range(50):
+            client.send_app_packet(b"p%02d" % i)
+        loop.run_until(2.0)
+        assert received == list(range(50))
+
+    def test_retransmits_until_delivered(self):
+        loop, emu = build_net(loss_probs=[0.4, 0.4], seed=2)
+        received = []
+        server = InOrderTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = ReliableTunnelClient(loop, emu, std_paths(emu), MinRttScheduler())
+        for i in range(100):
+            client.send_app_packet(b"r%03d" % i)
+        loop.run_until(15.0)
+        assert received == list(range(100))
+        assert client.stats.retx_packets > 0
+
+    def test_hol_blocking_observable(self):
+        """A burst loss delays everything behind it (the §1 failure mode)."""
+        loop, emu = build_net(loss_probs=[0.5, 0.5], seed=3)
+        arrivals = []
+        server = InOrderTunnelServer(loop, emu, lambda pid, d, t: arrivals.append((pid, t)))
+        client = ReliableTunnelClient(loop, emu, std_paths(emu), MinRttScheduler())
+        for i in range(100):
+            client.send_app_packet(b"h%03d" % i)
+        loop.run_until(15.0)
+        # packets were held back: deliveries arrive in bursts after
+        # retransmission, so some deliver far later than their send time
+        delays = [t for _pid, t in arrivals]
+        assert max(delays) - min(delays) > 0.05
+        assert server.hol_blocked_deliveries > 0
+
+    def test_redundant_scheduler_duplicates(self):
+        loop, emu = build_net()
+        received = []
+        server = InOrderTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = ReliableTunnelClient(loop, emu, std_paths(emu), RedundantScheduler())
+        for i in range(20):
+            client.send_app_packet(b"dup" * 100)
+        loop.run_until(2.0)
+        assert received == list(range(20))
+        assert client.stats.duplicate_packets > 0
+        assert client.stats.redundancy_ratio > 0.5  # ~1 extra copy on 2 paths
+
+    def test_unordered_server_delivers_out_of_order(self):
+        loop, emu = build_net(loss_probs=[0.3, 0.0], seed=4)
+        received = []
+        server = UnorderedTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = ReliableTunnelClient(loop, emu, std_paths(emu), MinRttScheduler())
+        for i in range(100):
+            client.send_app_packet(b"u%03d" % i)
+        loop.run_until(10.0)
+        assert sorted(received) == list(range(100))
+
+
+class TestBonding:
+    def test_unlimited_controller_never_blocks(self):
+        cc = UnlimitedController()
+        cc.on_sent(10 ** 9, 0.0)
+        assert cc.can_send(10 ** 9)
+        cc.on_loss(1000, 0.0)
+        assert cc.can_send(10 ** 9)
+
+    def test_single_path_used(self):
+        loop, emu = build_net(n_paths=4)
+        received = []
+        server = UnorderedTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = BondingTunnelClient(loop, emu)
+        for i in range(50):
+            client.send_app_packet(b"b%02d" % i)
+        loop.run_until(2.0)
+        assert len(received) == 50
+        used = [p for p in client.paths if p.packets_sent > 0]
+        assert len(used) == 1
+
+    def test_no_loss_repair(self):
+        loop, emu = build_net(loss_probs=[1.0, 1.0])
+        received = []
+        server = UnorderedTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = BondingTunnelClient(loop, emu)
+        for i in range(20):
+            client.send_app_packet(b"lost")
+        loop.run_until(5.0)
+        assert received == []
+        assert client.stats.retx_packets == 0
+        assert client.stats.recovery_packets == 0
+
+
+class TestPluribus:
+    def _run(self, loss_probs=None, packets=200, seed=5, config=None):
+        loop, emu = build_net(loss_probs=loss_probs, seed=seed)
+        received = []
+        server = XncTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = PluribusTunnelClient(loop, emu, std_paths(emu), config or PluribusConfig())
+        for i in range(packets):
+            client.send_app_packet(b"q%04d" % i)
+        loop.run_until(10.0)
+        return client, server, received
+
+    def test_blocks_close_and_emit_repairs(self):
+        client, server, received = self._run()
+        assert client.blocks_closed > 0
+        assert client.repairs_sent > 0
+        assert server.decoder.stats.coded_received > 0
+
+    def test_clean_links_full_delivery(self):
+        client, server, received = self._run()
+        assert sorted(received) == list(range(200))
+
+    def test_repairs_recover_random_loss(self):
+        client, server, received = self._run(loss_probs=[0.1, 0.0], seed=6)
+        # proactive repairs fill most holes
+        assert len(received) >= 190
+
+    def test_redundancy_floor_always_paid(self):
+        """Pluribus's weakness: repairs flow even on clean links."""
+        client, server, received = self._run()
+        assert client.stats.redundancy_ratio >= 0.10
+
+    def test_loss_estimate_tracks(self):
+        cfg = PluribusConfig(loss_ewma=0.2)
+        client, _server, _received = self._run(loss_probs=[0.5, 0.5], seed=7, config=cfg)
+        assert client.loss_estimate > 0.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PluribusConfig(block_packets=1)
+        with pytest.raises(ValueError):
+            PluribusConfig(min_redundancy=0.9, max_redundancy=0.5)
+
+
+class TestProactiveFec:
+    def _run(self, loss_probs=None, packets=200, seed=12, rate=0.3):
+        from repro.baselines.quic_fec import FecConfig, FecTunnelClient
+        loop, emu = build_net(loss_probs=loss_probs, seed=seed)
+        received = []
+        server = XncTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+        client = FecTunnelClient(loop, emu, std_paths(emu), FecConfig(redundancy_rate=rate))
+        for i in range(packets):
+            client.send_app_packet(b"f%04d" % i)
+        loop.run_until(10.0)
+        return client, server, received
+
+    def test_repairs_always_flow(self):
+        """Feed-forward: redundancy is paid even on clean links."""
+        client, _server, received = self._run()
+        assert client.blocks_protected > 0
+        assert client.stats.recovery_packets > 0
+        assert client.stats.redundancy_ratio > 0.15
+
+    def test_random_loss_recovered(self):
+        client, _server, received = self._run(loss_probs=[0.1, 0.0], seed=13)
+        assert len(set(received)) >= 195
+
+    def test_no_reactive_retransmission(self):
+        """A total blackout produces zero retransmissions — pure FEC."""
+        client, _server, received = self._run(loss_probs=[1.0, 1.0])
+        assert received == []
+        assert client.stats.retx_packets == 0
+
+    def test_config_validation(self):
+        from repro.baselines.quic_fec import FecConfig
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            FecConfig(block_packets=1)
+        with _pytest.raises(ValueError):
+            FecConfig(redundancy_rate=-0.1)
+        assert FecConfig(block_packets=10, redundancy_rate=0.3).repairs_per_block == 3

@@ -1,0 +1,121 @@
+"""Bidirectional tunnel: video up, teleoperation control down (§3.2)."""
+
+import pytest
+
+from repro.emulation.emulator import MultipathEmulator
+from repro.emulation.events import EventLoop
+from repro.emulation.trace import LinkTrace, LossProcess, opportunities_from_rate
+from repro.transport.reverse import BidirectionalTunnel, ReversedEmulator
+
+
+def build_emulator(loop, rate=20.0, duration=30.0, up_loss=None, n_paths=2, seed=0):
+    traces = []
+    for i in range(n_paths):
+        loss = LossProcess.constant(up_loss[i]) if up_loss else LossProcess.zero()
+        traces.append(
+            LinkTrace("p%d" % i, opportunities_from_rate(rate, duration), duration,
+                      base_delay=0.01, loss=loss)
+        )
+    return MultipathEmulator(loop, traces, seed=seed)
+
+
+def build_tunnel(loop, emu):
+    up_inbox, down_inbox = [], []
+    tunnel = BidirectionalTunnel(
+        loop,
+        emu,
+        on_uplink_packet=lambda pid, d, t: up_inbox.append((pid, d, t)),
+        on_downlink_packet=lambda pid, d, t: down_inbox.append((pid, d, t)),
+    )
+    return tunnel, up_inbox, down_inbox
+
+
+class TestReversedEmulator:
+    def test_directions_swapped(self):
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        rev = ReversedEmulator(emu)
+        got = []
+        rev.attach_server(lambda pid, payload, t: got.append(payload))
+        rev_got = []
+        rev.attach_client(lambda pid, payload, t: rev_got.append(payload))
+        rev.send_uplink(0, "reverse-data", 100)   # rides the real downlink
+        rev.send_downlink(0, "reverse-ack", 100)  # rides the real uplink
+        loop.run_until(1.0)
+        assert got == ["reverse-data"]
+        assert rev_got == ["reverse-ack"]
+
+    def test_stats_swapped(self):
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        rev = ReversedEmulator(emu)
+        rev.send_uplink(0, "x", 100)
+        loop.run_until(0.5)
+        assert rev.uplink_stats()[0].delivered == 1
+        assert emu.downlink_stats()[0].delivered == 1
+
+
+class TestBidirectionalTunnel:
+    def test_both_directions_deliver(self):
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        tunnel, up_inbox, down_inbox = build_tunnel(loop, emu)
+        for i in range(50):
+            tunnel.send_up(b"camera-%02d" % i)
+            tunnel.send_down(b"steer-%02d" % i)
+        loop.run_until(3.0)
+        assert len(up_inbox) == 50
+        assert len(down_inbox) == 50
+        assert up_inbox[0][1] == b"camera-00"
+        assert down_inbox[0][1] == b"steer-00"
+
+    def test_no_cross_talk(self):
+        """Uplink payloads never surface at the vehicle sink or vice versa."""
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        tunnel, up_inbox, down_inbox = build_tunnel(loop, emu)
+        for i in range(30):
+            tunnel.send_up(b"UP")
+            tunnel.send_down(b"DOWN")
+        loop.run_until(3.0)
+        assert all(d == b"UP" for _pid, d, _t in up_inbox)
+        assert all(d == b"DOWN" for _pid, d, _t in down_inbox)
+
+    def test_uplink_loss_recovered_while_downlink_flows(self):
+        loop = EventLoop()
+        emu = build_emulator(loop, up_loss=[0.3, 0.0], seed=5)
+        tunnel, up_inbox, down_inbox = build_tunnel(loop, emu)
+        for i in range(200):
+            tunnel.send_up(b"v%04d" % i, frame_id=i // 10)
+            if i % 10 == 0:
+                tunnel.send_down(b"cmd%03d" % i)
+        loop.run_until(8.0)
+        assert len({pid for pid, _d, _t in up_inbox}) >= 195
+        assert len(down_inbox) == 20
+        assert tunnel.uplink_client.recoveries_executed > 0
+
+    def test_both_directions_share_link_stats(self):
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        tunnel, _up, _down = build_tunnel(loop, emu)
+        tunnel.send_up(b"a")
+        tunnel.send_down(b"b")
+        loop.run_until(1.0)
+        up_delivered = sum(s.delivered for s in emu.uplink_stats().values())
+        down_delivered = sum(s.delivered for s in emu.downlink_stats().values())
+        # uplink carries forward data + reverse ACKs; downlink the converse
+        assert up_delivered >= 2
+        assert down_delivered >= 2
+
+    def test_close_stops_both(self):
+        loop = EventLoop()
+        emu = build_emulator(loop)
+        tunnel, up_inbox, down_inbox = build_tunnel(loop, emu)
+        tunnel.send_up(b"x")
+        loop.run_until(1.0)
+        tunnel.close()
+        tunnel.send_up(b"late")
+        tunnel.send_down(b"late")
+        loop.run_until(2.0)
+        assert len(up_inbox) == 1
+        assert down_inbox == []

@@ -1,0 +1,149 @@
+"""Synthetic cellular traces: calibration against the Fig. 3 envelope."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.cellular import (
+    PROFILE_5G,
+    PROFILE_LTE,
+    generate_cellular_trace,
+    generate_downlink_trace,
+    generate_fleet_traces,
+    profile_for,
+)
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert profile_for("5G") is PROFILE_5G
+        assert profile_for("LTE") is PROFILE_LTE
+        with pytest.raises(ValueError):
+            profile_for("3G")
+
+    def test_5g_faster_but_smaller_cells(self):
+        assert PROFILE_5G.peak_uplink_mbps > PROFILE_LTE.peak_uplink_mbps
+        assert PROFILE_5G.tower_spacing_m < PROFILE_LTE.tower_spacing_m
+        assert PROFILE_5G.shadow_sigma_db > PROFILE_LTE.shadow_sigma_db
+
+
+class TestTraceGeneration:
+    def test_deterministic_across_processes(self):
+        """The seed must mean the same trace in every process: no use of
+        PYTHONHASHSEED-randomised hash() in the generator (regression)."""
+        c = generate_cellular_trace("5G", carrier=1, duration=10.0, seed=7)
+        assert float(c.capacity_mbps.mean()) == pytest.approx(34.0, abs=0.1)
+        assert float(c.loss_prob.mean()) == pytest.approx(0.66, abs=0.01)
+
+    def test_deterministic_per_seed(self):
+        a = generate_cellular_trace("5G", duration=20.0, seed=5)
+        b = generate_cellular_trace("5G", duration=20.0, seed=5)
+        assert np.array_equal(a.capacity_mbps, b.capacity_mbps)
+        assert np.array_equal(a.loss_prob, b.loss_prob)
+
+    def test_different_seeds_differ(self):
+        a = generate_cellular_trace("5G", duration=20.0, seed=1)
+        b = generate_cellular_trace("5G", duration=20.0, seed=2)
+        assert not np.array_equal(a.capacity_mbps, b.capacity_mbps)
+
+    def test_carriers_have_independent_geometry(self):
+        a = generate_cellular_trace("LTE", carrier=0, duration=30.0, seed=1)
+        b = generate_cellular_trace("LTE", carrier=1, duration=30.0, seed=1)
+        assert not np.array_equal(a.rsrp_dbm, b.rsrp_dbm)
+
+    def test_series_shapes(self):
+        t = generate_cellular_trace("5G", duration=18.0, seed=0)
+        n = len(t.times)
+        assert t.rsrp_dbm.shape == t.sinr_db.shape == t.capacity_mbps.shape == (n,)
+        assert t.loss_prob.shape == t.outage_mask.shape == (n,)
+
+    def test_rf_per_second_downsampling(self):
+        t = generate_cellular_trace("LTE", duration=30.0, seed=0)
+        times, rsrp, sinr = t.rf_per_second()
+        assert len(times) == 30
+        assert np.allclose(np.diff(times), 1.0)
+
+    def test_capacity_within_peak(self):
+        for tech, peak in (("5G", 100.0), ("LTE", 50.0)):
+            t = generate_cellular_trace(tech, duration=60.0, seed=3)
+            assert t.capacity_mbps.max() <= peak + 1e-9
+            assert t.capacity_mbps.min() >= 0.0
+
+    def test_loss_probabilities_valid(self):
+        t = generate_cellular_trace("5G", duration=60.0, seed=4)
+        assert (t.loss_prob >= 0).all()
+        assert (t.loss_prob <= 1).all()
+
+    def test_outage_zeroes_capacity_and_maxes_loss(self):
+        # find a seed with an outage
+        for seed in range(20):
+            t = generate_cellular_trace("5G", duration=120.0, seed=seed)
+            if t.outage_mask.any():
+                assert (t.capacity_mbps[t.outage_mask] == 0).all()
+                assert (t.loss_prob[t.outage_mask] == 1.0).all()
+                return
+        pytest.fail("no outage found in 20 seeds of 120 s 5G traces")
+
+
+class TestFig3Calibration:
+    """The synthetic envelope must match the paper's measurements."""
+
+    def _traces(self, tech, n=8, duration=120.0):
+        return [generate_cellular_trace(tech, duration=duration, seed=s) for s in range(n)]
+
+    def test_rsrp_swings_exceed_30db(self):
+        # Fig. 3(a): >30 dB swings within the drive
+        swings = [t.rsrp_dbm.max() - t.rsrp_dbm.min() for t in self._traces("5G")]
+        assert np.median(swings) > 30.0
+
+    def test_5g_fluctuates_more_than_lte(self):
+        g5 = np.mean([t.rsrp_dbm.std() for t in self._traces("5G")])
+        lte = np.mean([t.rsrp_dbm.std() for t in self._traces("LTE")])
+        assert g5 > lte
+
+    def test_bursty_loss_reaches_100pct(self):
+        # Fig. 3(b): loss spikes to 100%
+        hit = any((t.loss_prob >= 1.0).any() for t in self._traces("5G"))
+        assert hit
+
+    def test_mean_loss_is_moderate(self):
+        # most of the drive is clean; loss concentrates in bursts
+        means = [t.loss_prob.mean() for t in self._traces("LTE")]
+        assert np.mean(means) < 0.25
+
+    def test_sinr_hits_low_values(self):
+        lows = [t.sinr_db.min() for t in self._traces("5G")]
+        assert min(lows) <= 0.0
+
+
+class TestFleetAndDownlink:
+    def test_fleet_composition(self):
+        traces = generate_fleet_traces(duration=20.0, seed=0)
+        assert len(traces) == 4
+        names = [t.name for t in traces]
+        assert sum("5G" in n for n in names) == 2
+        assert sum("LTE" in n for n in names) == 2
+
+    def test_fleet_deterministic(self):
+        a = generate_fleet_traces(duration=10.0, seed=9)
+        b = generate_fleet_traces(duration=10.0, seed=9)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.opportunities, y.opportunities)
+
+    def test_downlink_faster_and_cleaner(self):
+        up = generate_fleet_traces(duration=30.0, seed=1)[0]
+        down = generate_downlink_trace(up, seed=1)
+        assert down.opportunities.size >= up.opportunities.size
+        # random loss shrinks but outages persist
+        up_loss = up.loss.loss_prob
+        down_loss = down.loss.loss_prob
+        mask_outage = up_loss >= 0.999
+        if mask_outage.any():
+            assert (down_loss[mask_outage] == 1.0).all()
+        nonoutage = ~mask_outage
+        assert (down_loss[nonoutage] <= up_loss[nonoutage] + 1e-12).all()
+
+    def test_downlink_duration_matches(self):
+        up = generate_fleet_traces(duration=15.0, seed=2)[1]
+        down = generate_downlink_trace(up)
+        assert down.duration == up.duration
+        assert (down.opportunities < down.duration).all()

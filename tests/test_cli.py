@@ -1,0 +1,57 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "cellfusion", "--duration", "3"])
+        assert args.transport == "cellfusion"
+        assert args.duration == 3.0
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "carrier-pigeon"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "cellfusion", "--duration", "3", "--bitrate", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cellfusion" in out
+        assert "delivery" in out
+
+    def test_compare_command(self, capsys):
+        rc = main(
+            ["compare", "cellfusion", "bonding", "--duration", "3", "--bitrate", "6", "--runs", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cellfusion" in out and "bonding" in out
+
+    def test_trace_command(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert main(["trace", "--tech", "LTE", "--duration", "10", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.emulation.trace import load_json
+        assert load_json(out_path).duration == pytest.approx(10.0)
+
+    def test_trace_mahimahi_export(self, tmp_path):
+        out_path = tmp_path / "t.up"
+        assert main(["trace", "--tech", "5G", "--duration", "10", "--out", str(out_path)]) == 0
+        from repro.emulation.trace import load_mahimahi
+        assert load_mahimahi(out_path).opportunities.size > 0
+
+    def test_figure_fig10b(self, capsys):
+        assert main(["figure", "fig10b", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "day 0" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99", "--duration", "3"]) == 2

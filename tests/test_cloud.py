@@ -1,0 +1,264 @@
+"""Cloud back-end: controller, NAT tables, PoPs, multi-tenant proxy."""
+
+import pytest
+
+from repro.cloud.controller import AuthError, Controller, HEARTBEAT_TIMEOUT
+from repro.cloud.nat import NatError, SnatTable, TunAddressPool
+from repro.cloud.pop import PopNode, default_pop_grid
+from repro.cloud.proxy import ProxyServer
+from repro.netstack.ip import build_udp, parse_udp
+
+
+class TestSnatTable:
+    def test_stable_mapping(self):
+        snat = SnatTable("1.2.3.4")
+        a = snat.translate(17, "10.64.0.2", 5004)
+        b = snat.translate(17, "10.64.0.2", 5004)
+        assert a == b
+        assert a[0] == "1.2.3.4"
+
+    def test_distinct_flows_distinct_ports(self):
+        snat = SnatTable("1.2.3.4")
+        p1 = snat.translate(17, "10.64.0.2", 5004)[1]
+        p2 = snat.translate(17, "10.64.0.3", 5004)[1]
+        assert p1 != p2
+
+    def test_reverse(self):
+        snat = SnatTable("1.2.3.4")
+        _ip, port = snat.translate(17, "10.64.0.2", 5004)
+        assert snat.reverse(17, port) == ("10.64.0.2", 5004)
+
+    def test_reverse_unknown_raises(self):
+        with pytest.raises(NatError):
+            SnatTable("1.2.3.4").reverse(17, 33333)
+
+    def test_release(self):
+        snat = SnatTable("1.2.3.4")
+        _ip, port = snat.translate(17, "10.64.0.2", 5004)
+        snat.release(17, "10.64.0.2", 5004)
+        with pytest.raises(NatError):
+            snat.reverse(17, port)
+
+    def test_pool_exhaustion(self):
+        snat = SnatTable("1.2.3.4", port_base=100, port_count=2)
+        snat.translate(17, "a", 1)
+        snat.translate(17, "b", 2)
+        with pytest.raises(NatError):
+            snat.translate(17, "c", 3)
+
+
+class TestTunAddressPool:
+    def test_idempotent_per_device(self):
+        pool = TunAddressPool()
+        assert pool.allocate("veh-1") == pool.allocate("veh-1")
+
+    def test_unique_across_devices(self):
+        pool = TunAddressPool()
+        addrs = {pool.allocate("veh-%d" % i) for i in range(100)}
+        assert len(addrs) == 100
+
+    def test_release_and_lookup(self):
+        pool = TunAddressPool()
+        pool.allocate("veh-1")
+        assert pool.lookup("veh-1") is not None
+        pool.release("veh-1")
+        assert pool.lookup("veh-1") is None
+
+    def test_exhaustion(self):
+        pool = TunAddressPool(size=2)
+        pool.allocate("a")
+        pool.allocate("b")
+        with pytest.raises(NatError):
+            pool.allocate("c")
+
+
+class TestPopNode:
+    def test_access_delay_grows_with_distance(self):
+        pop = PopNode("p", "r", (0.0, 0.0))
+        near = pop.access_delay((10.0, 0.0))
+        far = pop.access_delay((500.0, 0.0))
+        assert near < far
+
+    def test_capacity_admission(self):
+        pop = PopNode("p", "r", (0.0, 0.0), capacity_sessions=2)
+        pop.admit()
+        pop.admit()
+        assert not pop.has_capacity
+        pop.release()
+        assert pop.has_capacity
+
+    def test_default_grid_is_paper_scale(self):
+        pops = default_pop_grid()
+        assert len(pops) == 51  # ~50 PoPs across three states
+        assert len({p.region for p in pops}) == 3
+
+
+class TestController:
+    def _controller(self, pops=3):
+        c = Controller()
+        for i in range(pops):
+            c.register_pop(PopNode("pop%d" % i, "r", (i * 50.0, 0.0)))
+            c.heartbeat("pop%d" % i, 0, now=0.0)
+        return c
+
+    def test_register_and_authenticate(self):
+        c = self._controller()
+        token = c.register_device("veh-1")
+        assert c.authenticate("veh-1", token)
+
+    def test_bad_token_rejected(self):
+        c = self._controller()
+        c.register_device("veh-1")
+        assert not c.authenticate("veh-1", "00" * 32)
+        assert not c.authenticate("veh-1", "not-hex")
+
+    def test_unknown_device_rejected(self):
+        assert not self._controller().authenticate("ghost", "00" * 32)
+
+    def test_double_registration_rejected(self):
+        c = self._controller()
+        c.register_device("veh-1")
+        with pytest.raises(ValueError):
+            c.register_device("veh-1")
+
+    def test_revocation(self):
+        c = self._controller()
+        token = c.register_device("veh-1")
+        c.revoke_device("veh-1")
+        assert not c.authenticate("veh-1", token)
+
+    def test_config_requires_auth(self):
+        c = self._controller()
+        c.register_device("veh-1")
+        with pytest.raises(AuthError):
+            c.get_config("veh-1", "00" * 32)
+
+    def test_config_paper_defaults_and_unique_address(self):
+        c = self._controller()
+        t1 = c.register_device("veh-1")
+        t2 = c.register_device("veh-2")
+        cfg1 = c.get_config("veh-1", t1)
+        cfg2 = c.get_config("veh-2", t2)
+        assert cfg1.range_max_packets == 10
+        assert cfg1.t_expire == pytest.approx(0.7)
+        assert cfg1.tun_address != cfg2.tun_address
+
+    def test_candidates_sorted_by_load(self):
+        c = self._controller()
+        token = c.register_device("veh-1")
+        c.heartbeat("pop0", 150, now=0.0)
+        c.heartbeat("pop1", 10, now=0.0)
+        c.heartbeat("pop2", 80, now=0.0)
+        cands = c.candidate_proxies("veh-1", token)
+        assert [p.pop_id for p in cands] == ["pop1", "pop2", "pop0"]
+
+    def test_health_timeout_marks_down(self):
+        c = self._controller()
+        failed = c.check_health(now=HEARTBEAT_TIMEOUT + 1)
+        assert sorted(failed) == ["pop0", "pop1", "pop2"]
+
+    def test_failover_moves_session(self):
+        c = self._controller()
+        token = c.register_device("veh-1")
+        c.assign("veh-1", "pop0")
+        # pop0 dies; others stay alive via heartbeats
+        c.heartbeat("pop1", 0, now=HEARTBEAT_TIMEOUT + 1)
+        c.heartbeat("pop2", 0, now=HEARTBEAT_TIMEOUT + 1)
+        chosen = c.failover("veh-1", token, now=HEARTBEAT_TIMEOUT + 2)
+        assert chosen is not None and chosen.pop_id != "pop0"
+        assert c.failovers == 1
+        assert c.assigned_pop("veh-1") == chosen.pop_id
+
+    def test_failover_noop_when_healthy(self):
+        c = self._controller()
+        token = c.register_device("veh-1")
+        c.assign("veh-1", "pop0")
+        c.heartbeat("pop0", 0, now=1.0)
+        chosen = c.failover("veh-1", token, now=2.0)
+        assert chosen.pop_id == "pop0"
+        assert c.failovers == 0
+
+
+class TestProxyServer:
+    def _proxy(self):
+        pop = PopNode("pop0", "r", (0.0, 0.0))
+        cloud_inbox = []
+        vehicle_inbox = []
+        proxy = ProxyServer(
+            pop,
+            "203.0.113.7",
+            forward_to_cloud=cloud_inbox.append,
+            send_to_vehicle=lambda cid, pkt: vehicle_inbox.append((cid, pkt)),
+        )
+        return proxy, cloud_inbox, vehicle_inbox
+
+    def test_uplink_snat(self):
+        proxy, cloud, _veh = self._proxy()
+        pkt = build_udp("10.64.0.2", 5004, "20.0.0.9", 8554, b"video")
+        out = proxy.process_uplink(cid=111, ip_bytes=pkt)
+        assert out is not None
+        ip, sport, dport, payload = parse_udp(out)
+        assert ip.src == "203.0.113.7"
+        assert dport == 8554
+        assert payload == b"video"
+        assert cloud == [out]
+        assert proxy.tenant_count == 1
+
+    def test_return_path_finds_cid(self):
+        proxy, _cloud, veh = self._proxy()
+        pkt = build_udp("10.64.0.2", 5004, "20.0.0.9", 8554, b"video")
+        out = proxy.process_uplink(cid=42, ip_bytes=pkt)
+        _ip, pub_port, _dport, _p = parse_udp(out)
+        ret = build_udp("20.0.0.9", 8554, "203.0.113.7", pub_port, b"reply")
+        result = proxy.process_return(ret)
+        assert result is not None
+        cid, restored = result
+        assert cid == 42
+        ip, sport, dport, payload = parse_udp(restored)
+        assert ip.dst == "10.64.0.2"
+        assert dport == 5004
+        assert payload == b"reply"
+        assert veh == [(42, restored)]
+
+    def test_multi_tenant_isolation(self):
+        """Two vehicles through one proxy: return traffic lands correctly."""
+        proxy, _cloud, veh = self._proxy()
+        out_a = proxy.process_uplink(1, build_udp("10.64.0.2", 5004, "20.0.0.9", 8554, b"a"))
+        out_b = proxy.process_uplink(2, build_udp("10.64.0.3", 5004, "20.0.0.9", 8554, b"b"))
+        assert proxy.tenant_count == 2
+        _ip, port_a, _d, _ = parse_udp(out_a)
+        _ip, port_b, _d, _ = parse_udp(out_b)
+        assert port_a != port_b
+        proxy.process_return(build_udp("20.0.0.9", 8554, "203.0.113.7", port_a, b"ra"))
+        proxy.process_return(build_udp("20.0.0.9", 8554, "203.0.113.7", port_b, b"rb"))
+        cids = [cid for cid, _pkt in veh]
+        assert cids == [1, 2]
+
+    def test_cid_rotation_relearned(self):
+        proxy, _c, _v = self._proxy()
+        pkt = build_udp("10.64.0.2", 5004, "20.0.0.9", 8554, b"x")
+        proxy.process_uplink(1, pkt)
+        proxy.process_uplink(9, pkt)  # same tenant address, new CID
+        assert proxy.tenant_count == 1
+        _ip, port, _d, _ = parse_udp(proxy.process_uplink(9, pkt))
+        cid, _restored = proxy.process_return(
+            build_udp("20.0.0.9", 8554, "203.0.113.7", port, b"r")
+        )
+        assert cid == 9
+
+    def test_return_to_wrong_address_dropped(self):
+        proxy, _c, _v = self._proxy()
+        ret = build_udp("20.0.0.9", 8554, "198.51.100.1", 20000, b"stray")
+        assert proxy.process_return(ret) is None
+        assert proxy.stats.unknown_tenant_drops == 1
+
+    def test_garbage_uplink_counted(self):
+        proxy, _c, _v = self._proxy()
+        assert proxy.process_uplink(1, b"junk") is None
+        assert proxy.stats.parse_errors == 1
+
+    def test_remove_tenant(self):
+        proxy, _c, _v = self._proxy()
+        proxy.process_uplink(5, build_udp("10.64.0.2", 5004, "20.0.0.9", 8554, b"x"))
+        proxy.remove_tenant(5)
+        assert proxy.tenant_count == 0

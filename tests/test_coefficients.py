@@ -1,0 +1,78 @@
+"""Coefficient generation: determinism, range, Appendix A conventions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coefficients import CoefficientGenerator, coefficient_vector
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = CoefficientGenerator(42)
+        b = CoefficientGenerator(42)
+        assert [a.next_coefficient() for _ in range(100)] == [
+            b.next_coefficient() for _ in range(100)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [CoefficientGenerator(1).next_coefficient() for _ in range(20)]
+        b = [CoefficientGenerator(2).next_coefficient() for _ in range(20)]
+        assert a != b
+
+    def test_never_zero(self):
+        gen = CoefficientGenerator(7)
+        for _ in range(10_000):
+            assert 1 <= gen.next_coefficient() <= 255
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            CoefficientGenerator(-1)
+
+    def test_seed_zero_works(self):
+        gen = CoefficientGenerator(0)
+        values = [gen.next_coefficient() for _ in range(10)]
+        assert len(set(values)) > 1  # not stuck at a fixed point
+
+    def test_distribution_roughly_uniform(self):
+        gen = CoefficientGenerator(123)
+        counts = [0] * 256
+        n = 255 * 200
+        for _ in range(n):
+            counts[gen.next_coefficient()] += 1
+        assert counts[0] == 0
+        mean = n / 255
+        observed = [c for c in counts[1:]]
+        assert min(observed) > mean * 0.5
+        assert max(observed) < mean * 1.5
+
+
+class TestCoefficientVector:
+    def test_leading_coefficient_folded_to_one(self):
+        # Appendix A: p = p_k + sum g_s(i) p_{k+i}, so index 0 is always 1
+        for seed in (1, 99, 2 ** 31):
+            assert coefficient_vector(seed, 8)[0] == 1
+
+    def test_count_one_ignores_seed(self):
+        assert coefficient_vector(0, 1) == [1]
+        assert coefficient_vector(12345, 1) == [1]
+
+    def test_length(self):
+        assert len(coefficient_vector(5, 10)) == 10
+
+    def test_matches_generator_stream(self):
+        seed = 77
+        gen = CoefficientGenerator(seed)
+        expected = [1] + [gen.next_coefficient() for _ in range(5)]
+        assert coefficient_vector(seed, 6) == expected
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            coefficient_vector(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1), st.integers(min_value=1, max_value=64))
+    def test_all_nonzero_and_deterministic(self, seed, count):
+        v1 = coefficient_vector(seed, count)
+        v2 = coefficient_vector(seed, count)
+        assert v1 == v2
+        assert all(1 <= c <= 255 for c in v1)

@@ -1,0 +1,155 @@
+"""QUIC connection establishment, negotiation, CIDs, idle timeout."""
+
+import pytest
+
+from repro.emulation.events import EventLoop
+from repro.quic.connection import (
+    ConnectionIdManager,
+    HandshakeError,
+    QuicConnection,
+    TransportParameters,
+    XNC_PRNG_MINSTD,
+    establish_tunnel_connection,
+)
+
+
+class TestTransportParameters:
+    def test_negotiate_takes_minimum(self):
+        a = TransportParameters(max_datagram_frame_size=1500, initial_max_paths=4, idle_timeout=30)
+        b = TransportParameters(max_datagram_frame_size=1200, initial_max_paths=2, idle_timeout=10)
+        n = a.negotiate(b)
+        assert n.max_datagram_frame_size == 1200
+        assert n.initial_max_paths == 2
+        assert n.idle_timeout == 10
+
+    def test_multipath_requires_both(self):
+        a = TransportParameters(enable_multipath=True)
+        b = TransportParameters(enable_multipath=False)
+        assert not a.negotiate(b).enable_multipath
+
+    def test_datagram_mandatory(self):
+        a = TransportParameters()
+        b = TransportParameters(max_datagram_frame_size=0)
+        with pytest.raises(HandshakeError):
+            a.negotiate(b)
+
+    def test_prng_family_must_match(self):
+        a = TransportParameters()
+        b = TransportParameters(xnc_prng="other-prng")
+        with pytest.raises(HandshakeError):
+            a.negotiate(b)
+
+
+class TestConnectionIds:
+    def test_sequences_monotonic(self):
+        mgr = ConnectionIdManager()
+        cids = [mgr.issue() for _ in range(3)]
+        assert [c.sequence for c in cids] == [0, 1, 2]
+        assert len({c.value for c in cids}) == 3
+
+    def test_retire(self):
+        mgr = ConnectionIdManager()
+        cid = mgr.issue(path_id=0)
+        mgr.retire(cid.value)
+        assert mgr.for_path(0) is None
+        assert mgr.active() == []
+
+    def test_per_path_lookup(self):
+        mgr = ConnectionIdManager()
+        mgr.issue(path_id=0)
+        c1 = mgr.issue(path_id=1)
+        assert mgr.for_path(1).value == c1.value
+
+
+class TestHandshake:
+    def test_establish(self):
+        loop = EventLoop()
+        client, server = establish_tunnel_connection(loop)
+        assert client.state == QuicConnection.ESTABLISHED
+        assert server.state == QuicConnection.ESTABLISHED
+        assert client.negotiated == server.negotiated
+        assert client.negotiated.xnc_prng == XNC_PRNG_MINSTD
+        assert client.paths == [0]
+
+    def test_handshake_takes_one_rtt(self):
+        loop = EventLoop()
+        client = QuicConnection(loop, is_client=True)
+        server = QuicConnection(loop, is_client=False)
+        client.connect(server, rtt=0.080)
+        loop.run_until(0.079)
+        assert client.state == QuicConnection.HANDSHAKING
+        loop.run_until(0.081)
+        assert client.state == QuicConnection.ESTABLISHED
+
+    def test_incompatible_prng_closes_both(self):
+        loop = EventLoop()
+        client = QuicConnection(loop, True, TransportParameters(xnc_prng="weird"))
+        server = QuicConnection(loop, False)
+        client.connect(server, rtt=0.05)
+        with pytest.raises(HandshakeError):
+            loop.run_until(1.0)
+        assert server.state == QuicConnection.CLOSED
+
+    def test_connect_on_server_rejected(self):
+        loop = EventLoop()
+        server = QuicConnection(loop, is_client=False)
+        with pytest.raises(HandshakeError):
+            server.connect(server)
+
+    def test_double_connect_rejected(self):
+        loop = EventLoop()
+        client, server = establish_tunnel_connection(loop)
+        with pytest.raises(HandshakeError):
+            client.connect(server)
+
+
+class TestPaths:
+    def test_add_paths_up_to_negotiated_max(self):
+        loop = EventLoop()
+        client, _server = establish_tunnel_connection(loop)
+        for _ in range(3):  # path 0 already open; CellFusion uses 4 total
+            client.add_path()
+        assert client.paths == [0, 1, 2, 3]
+        with pytest.raises(HandshakeError):
+            client.add_path()
+
+    def test_each_path_has_its_own_cid(self):
+        loop = EventLoop()
+        client, _server = establish_tunnel_connection(loop)
+        client.add_path()
+        assert client.cid_for_path(0) != client.cid_for_path(1)
+
+    def test_multipath_disabled_limits_to_one(self):
+        loop = EventLoop()
+        client, _server = establish_tunnel_connection(
+            loop, server_params=TransportParameters(enable_multipath=False)
+        )
+        with pytest.raises(HandshakeError):
+            client.add_path()
+
+    def test_add_path_requires_established(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, is_client=True)
+        with pytest.raises(HandshakeError):
+            conn.add_path()
+
+
+class TestIdleTimeout:
+    def test_idle_connection_closes(self):
+        loop = EventLoop()
+        params = TransportParameters(idle_timeout=1.0)
+        client, _server = establish_tunnel_connection(loop, client_params=params)
+        loop.run_until(loop.now + 2.0)
+        assert client.state == QuicConnection.CLOSED
+
+    def test_activity_keeps_alive(self):
+        loop = EventLoop()
+        params = TransportParameters(idle_timeout=1.0)
+        client, _server = establish_tunnel_connection(loop, client_params=params)
+        end = loop.now + 3.0
+        t = loop.now
+        while t < end:
+            t += 0.4
+            loop.schedule(t, client.touch)
+        loop.run_until(end)
+        assert client.state == QuicConnection.ESTABLISHED

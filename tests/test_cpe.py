@@ -1,0 +1,168 @@
+"""CPE subsystem: tun interface, modems, the box and its bring-up flow."""
+
+import pytest
+
+from repro.cloud.controller import Controller
+from repro.cloud.pop import PopNode
+from repro.cpe.box import CpeBox
+from repro.cpe.modem import CellularModem, EP06_E, RM500Q_GL, default_modem_bank
+from repro.cpe.tun import DEFAULT_TUN_MTU, TunInterface
+from repro.emulation.cellular import generate_cellular_trace
+from repro.netstack.ip import Ipv4Packet, build_udp, parse_udp
+
+
+class TestTunInterface:
+    def test_mtu_default_matches_appendix_e(self):
+        assert DEFAULT_TUN_MTU == 1440
+
+    def test_capture_small_packet(self):
+        out = []
+        tun = TunInterface(to_tunnel=out.append)
+        raw = build_udp("192.168.1.5", 1000, "8.8.8.8", 53, b"query")
+        sent = tun.write_from_lan(raw)
+        assert len(sent) == 1 and out == sent
+        assert tun.stats.captured == 1
+
+    def test_oversized_packet_fragmented(self):
+        out = []
+        tun = TunInterface(to_tunnel=out.append)
+        raw = Ipv4Packet("192.168.1.5", "8.8.8.8", 17, b"v" * 2000).encode()
+        sent = tun.write_from_lan(raw)
+        assert len(sent) == 2
+        assert tun.stats.fragmented == 1
+        assert all(len(p) <= DEFAULT_TUN_MTU for p in sent)
+
+    def test_fragments_reassembled_on_inject(self):
+        captured = []
+        delivered = []
+        sender = TunInterface(to_tunnel=captured.append)
+        receiver = TunInterface(to_lan=delivered.append)
+        raw = Ipv4Packet("10.64.0.2", "8.8.8.8", 17, b"w" * 3000, identification=4).encode()
+        sender.write_from_lan(raw)
+        for piece in captured:
+            receiver.write_from_tunnel(piece)
+        assert len(delivered) == 1
+        assert delivered[0].payload == b"w" * 3000
+        assert receiver.stats.reassembled == 1
+
+    def test_garbage_counted_as_error(self):
+        tun = TunInterface()
+        assert tun.write_from_lan(b"not-ip") == []
+        assert tun.stats.errors == 1
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            TunInterface(mtu=10)
+
+
+class TestModems:
+    def test_default_bank_composition(self):
+        bank = default_modem_bank(duration=10.0, seed=1)
+        assert len(bank) == 4
+        assert sum(m.technology == "5G" for m in bank) == 2
+        assert sum(m.technology == "LTE" for m in bank) == 2
+        assert len({m.interface for m in bank}) == 4
+
+    def test_hardware_models(self):
+        assert RM500Q_GL.tx_antennas == 2 and RM500Q_GL.rx_antennas == 4
+        assert EP06_E.tx_antennas == 1 and EP06_E.rx_antennas == 2
+
+    def test_rf_sampling(self):
+        bank = default_modem_bank(duration=10.0, seed=2)
+        m = bank[0]
+        assert -130 < m.rsrp(1.0) < -40
+        assert -15 < m.sinr(1.0) < 35
+
+    def test_sampling_wraps_past_duration(self):
+        bank = default_modem_bank(duration=5.0, seed=3)
+        m = bank[0]
+        assert m.rsrp(7.0) == m.rsrp(2.0)
+
+    def test_trace_tech_mismatch_rejected(self):
+        m = CellularModem(0, RM500Q_GL, carrier=0)
+        lte = generate_cellular_trace("LTE", duration=5.0, seed=0)
+        with pytest.raises(ValueError):
+            m.attach_trace(lte)
+
+    def test_no_trace_raises(self):
+        m = CellularModem(0, EP06_E, carrier=0)
+        with pytest.raises(RuntimeError):
+            m.rsrp(0.0)
+
+
+def provisioned_world():
+    controller = Controller()
+    for i in range(3):
+        controller.register_pop(PopNode("pop%d" % i, "region", (i * 100.0, 0.0)))
+        controller.heartbeat("pop%d" % i, 0, now=0.0)
+    cpe = CpeBox("vehicle-001", modems=default_modem_bank(duration=5.0, seed=1))
+    cpe.provision(controller)
+    return controller, cpe
+
+
+class TestCpeBox:
+    def test_interfaces(self):
+        _c, cpe = provisioned_world()
+        assert cpe.interface_names == ["wwan0", "wwan1", "wwan2", "wwan3"]
+
+    def test_modem_summary(self):
+        _c, cpe = provisioned_world()
+        rows = cpe.modem_summary(t=1.0)
+        assert len(rows) == 4
+        assert all("rsrp_dbm" in r for r in rows)
+
+    def test_connect_picks_min_delay_pop(self):
+        controller, cpe = provisioned_world()
+        cpe.vehicle_location = (200.0, 0.0)  # right at pop2
+        chosen = cpe.connect(controller)
+        assert chosen.pop_id == "pop2"
+        assert controller.assigned_pop("vehicle-001") == "pop2"
+        assert chosen.active_sessions == 1
+
+    def test_connect_without_provisioning_fails(self):
+        controller, _ = provisioned_world()
+        raw = CpeBox("vehicle-XXX", modems=[])
+        with pytest.raises(RuntimeError):
+            raw.connect(controller)
+
+    def test_bad_token_rejected(self):
+        controller, cpe = provisioned_world()
+        cpe.token = "00" * 32
+        with pytest.raises(PermissionError):
+            cpe.connect(controller)
+        assert cpe.stats.auth_failures == 1
+
+    def test_power_envelope_documented(self):
+        from repro.cpe.box import PEAK_POWER_W, STANDBY_POWER_W
+        assert PEAK_POWER_W <= 50.0
+        assert STANDBY_POWER_W <= 25.0
+
+    def test_cpe_snat_rewrites_source(self):
+        controller, cpe = provisioned_world()
+        cpe.connect(controller)
+        captured = []
+        cpe.set_tunnel_sink(captured.append)
+        lan_pkt = build_udp("192.168.1.23", 5004, "20.0.0.9", 8554, b"frame")
+        cpe.send_lan_packet(lan_pkt)
+        assert len(captured) == 1
+        ip, sport, dport, payload = parse_udp(captured[0])
+        assert ip.src == cpe.config.tun_address
+        assert ip.dst == "20.0.0.9"
+        assert payload == b"frame"
+
+    def test_cpe_unsnat_restores_lan_destination(self):
+        controller, cpe = provisioned_world()
+        cpe.connect(controller)
+        captured = []
+        cpe.set_tunnel_sink(captured.append)
+        lan_pkt = build_udp("192.168.1.23", 5004, "20.0.0.9", 8554, b"frame")
+        cpe.send_lan_packet(lan_pkt)
+        ip, sport, _dport, _p = parse_udp(captured[0])
+        # craft the return packet the cloud app would send to the tun addr
+        ret = build_udp("20.0.0.9", 8554, ip.src, sport, b"reply")
+        delivered = cpe.receive_tunnel_packet(ret)
+        assert delivered is not None
+        ip2, s2, d2, payload2 = parse_udp(delivered.encode())
+        assert ip2.dst == "192.168.1.23"
+        assert d2 == 5004
+        assert payload2 == b"reply"

@@ -1,0 +1,34 @@
+"""Fleet deployment simulation (§8.2 structure)."""
+
+import pytest
+
+from repro.cloud.pop import PopNode
+from repro.experiments.deployment import simulate_deployment
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    pops = [PopNode("p%d" % i, "r", (i * 100.0, 0.0)) for i in range(4)]
+    return simulate_deployment(
+        vehicles=2, days=2, session_seconds=4.0, bitrate_mbps=8.0, pops=pops
+    )
+
+
+class TestDeployment:
+    def test_vehicle_days(self, small_report):
+        assert small_report.vehicle_days == 4
+
+    def test_delay_percentiles_ordered(self, small_report):
+        pct = small_report.delay_percentiles
+        assert pct["p50"] <= pct["p99"] <= pct["p99.9"]
+
+    def test_daily_redundancy_in_envelope(self, small_report):
+        assert len(small_report.daily_redundancy) == 2
+        for r in small_report.daily_redundancy:
+            assert 0.0 <= r < 0.25
+
+    def test_records_reference_pops(self, small_report):
+        assert all(r.pop_id.startswith("p") for r in small_report.records)
+
+    def test_mean_redundancy_reasonable(self, small_report):
+        assert 0.0 <= small_report.mean_redundancy() < 0.25

@@ -1,0 +1,152 @@
+"""Discrete-event loop: ordering, cancellation, timers."""
+
+import pytest
+
+from repro.emulation.events import EventLoop, PeriodicTimer, SimulationError
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, seen.append, "b")
+        loop.schedule(1.0, seen.append, "a")
+        loop.schedule(3.0, seen.append, "c")
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, seen.append, 1)
+        loop.schedule(1.0, seen.append, 2)
+        loop.schedule(1.0, seen.append, 3)
+        loop.run()
+        assert seen == [1, 2, 3]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(0.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [0.5]
+        assert loop.now == 0.5
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().call_later(-0.1, lambda: None)
+
+    def test_cancel(self):
+        loop = EventLoop()
+        seen = []
+        h = loop.schedule(1.0, seen.append, "x")
+        h.cancel()
+        h.cancel()  # safe twice
+        loop.run()
+        assert seen == []
+        assert h.cancelled
+
+    def test_run_until_stops_and_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, seen.append, "early")
+        loop.schedule(5.0, seen.append, "late")
+        loop.run_until(2.0)
+        assert seen == ["early"]
+        assert loop.now == 2.0
+        loop.run_until(6.0)
+        assert seen == ["early", "late"]
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                loop.call_later(0.1, chain, n + 1)
+
+        loop.call_later(0.1, chain, 0)
+        loop.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        h = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        h.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_event_budget_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.call_later(0.001, forever)
+
+        loop.call_later(0.001, forever)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(i * 0.1, lambda: None)
+        loop.run()
+        assert loop.events_processed == 5
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 0.5, lambda: ticks.append(loop.now))
+        timer.start()
+        loop.run_until(2.2)
+        assert ticks == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+    def test_first_delay_override(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 1.0, lambda: ticks.append(loop.now))
+        timer.start(first_delay=0.1)
+        loop.run_until(1.5)
+        assert ticks == pytest.approx([0.1, 1.1])
+
+    def test_stop(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 0.5, lambda: ticks.append(loop.now))
+        timer.start()
+        loop.run_until(0.7)
+        timer.stop()
+        loop.run_until(3.0)
+        assert ticks == [0.5]
+        assert not timer.running
+
+    def test_stop_from_callback(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 0.5, lambda: (ticks.append(1), timer.stop()))
+        timer.start()
+        loop.run_until(5.0)
+        assert ticks == [1]
+
+    def test_double_start_ignored(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 1.0, lambda: ticks.append(1))
+        timer.start()
+        timer.start()
+        loop.run_until(1.5)
+        assert ticks == [1]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(EventLoop(), 0.0, lambda: None)

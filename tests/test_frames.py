@@ -1,0 +1,120 @@
+"""XNC wire format: headers, frame encode/decode, datagram frames."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.frames import (
+    FRAME_DATAGRAM,
+    FRAME_DATAGRAM_LEN,
+    FRAME_XNC_NC,
+    FrameError,
+    XNC_HEADER_SIZE,
+    XncHeader,
+    XncNcFrame,
+    decode_datagram_frame,
+    encode_datagram_frame,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestXncHeader:
+    def test_pack_size(self):
+        assert len(XncHeader(1, 0, 0).pack()) == XNC_HEADER_SIZE == 12
+
+    def test_roundtrip(self):
+        h = XncHeader(10, 12345, 678)
+        assert XncHeader.unpack(h.pack()) == h
+
+    def test_is_coded(self):
+        assert not XncHeader(1, 0, 5).is_coded
+        assert XncHeader(2, 7, 5).is_coded
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            XncHeader(0, 0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            XncHeader(1, 2 ** 32, 0)
+
+    def test_truncated_unpack(self):
+        with pytest.raises(FrameError):
+            XncHeader.unpack(b"\x00" * 11)
+
+    @given(st.integers(min_value=1, max_value=0xFFFFFFFF), u32, u32)
+    def test_roundtrip_property(self, count, seed, start):
+        h = XncHeader(count, seed, start)
+        assert XncHeader.unpack(h.pack()) == h
+
+
+class TestXncNcFrame:
+    def test_original_constructor(self):
+        f = XncNcFrame.original(42, b"data")
+        assert f.header.packet_count == 1
+        assert f.header.start_id == 42
+        assert not f.header.is_coded
+
+    def test_coded_constructor_requires_count_ge_2(self):
+        with pytest.raises(ValueError):
+            XncNcFrame.coded(0, 1, 5, b"x")
+
+    def test_encode_decode_roundtrip(self):
+        f = XncNcFrame.coded(100, 8, 777, b"\x01\x02\x03")
+        data = f.encode()
+        assert data[0] == FRAME_XNC_NC
+        parsed, consumed = XncNcFrame.decode(data)
+        assert consumed == len(data)
+        assert parsed.header == f.header
+        assert parsed.payload == f.payload
+
+    def test_decode_with_trailing_bytes(self):
+        f = XncNcFrame.original(1, b"ab")
+        data = f.encode() + b"EXTRA"
+        parsed, consumed = XncNcFrame.decode(data)
+        assert parsed.payload == b"ab"
+        assert consumed == len(data) - 5
+
+    def test_decode_wrong_type(self):
+        with pytest.raises(FrameError):
+            XncNcFrame.decode(b"\x30abc")
+
+    def test_decode_empty(self):
+        with pytest.raises(FrameError):
+            XncNcFrame.decode(b"")
+
+    def test_decode_truncated_body(self):
+        f = XncNcFrame.original(1, b"abcdef")
+        with pytest.raises(FrameError):
+            XncNcFrame.decode(f.encode()[:-2])
+
+    def test_wire_size(self):
+        f = XncNcFrame.original(1, b"abcd")
+        assert f.wire_size == 3 + 12 + 4
+        assert f.wire_size == len(f.encode())
+
+
+class TestDatagramFrames:
+    def test_with_length_roundtrip(self):
+        data = encode_datagram_frame(b"hello", with_length=True)
+        assert data[0] == FRAME_DATAGRAM_LEN
+        payload, consumed = decode_datagram_frame(data + b"rest")
+        assert payload == b"hello"
+        assert consumed == len(data)
+
+    def test_without_length_consumes_all(self):
+        data = encode_datagram_frame(b"hello", with_length=False)
+        assert data[0] == FRAME_DATAGRAM
+        payload, consumed = decode_datagram_frame(data)
+        assert payload == b"hello"
+        assert consumed == len(data)
+
+    def test_decode_bad_type(self):
+        with pytest.raises(FrameError):
+            decode_datagram_frame(b"\x99data")
+
+    def test_decode_truncated(self):
+        data = encode_datagram_frame(b"hello")
+        with pytest.raises(FrameError):
+            decode_datagram_frame(data[:-1])

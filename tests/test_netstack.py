@@ -1,0 +1,170 @@
+"""IPv4/UDP machinery: checksums, parsing, fragmentation, reassembly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack.ip import (
+    FLAG_DF,
+    FragmentReassembler,
+    IpError,
+    Ipv4Packet,
+    PROTO_UDP,
+    build_udp,
+    bytes_to_ip,
+    checksum16,
+    fragment,
+    ip_to_bytes,
+    parse_udp,
+)
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert bytes_to_ip(ip_to_bytes("192.168.1.10")) == "192.168.1.10"
+
+    def test_invalid(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"):
+            with pytest.raises(IpError):
+                ip_to_bytes(bad)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # classic example from RFC 1071 discussions
+        data = bytes.fromhex("45000073000040004011") + b"\x00\x00" + bytes.fromhex("c0a80001c0a800c7")
+        csum = checksum16(data)
+        full = data[:10] + csum.to_bytes(2, "big") + data[12:]
+        assert checksum16(full) == 0
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+
+class TestIpv4Packet:
+    def test_encode_decode_roundtrip(self):
+        pkt = Ipv4Packet(src="10.0.0.1", dst="10.0.0.2", proto=PROTO_UDP, payload=b"hello", identification=42)
+        parsed = Ipv4Packet.decode(pkt.encode())
+        assert parsed.src == "10.0.0.1"
+        assert parsed.dst == "10.0.0.2"
+        assert parsed.payload == b"hello"
+        assert parsed.identification == 42
+
+    def test_checksum_verified(self):
+        raw = bytearray(Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"x").encode())
+        raw[12] ^= 0xFF  # corrupt source address
+        with pytest.raises(IpError):
+            Ipv4Packet.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(IpError):
+            Ipv4Packet.decode(b"\x45\x00")
+
+    def test_not_ipv4(self):
+        raw = bytearray(Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"x").encode())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(IpError):
+            Ipv4Packet.decode(bytes(raw))
+
+    @given(st.binary(min_size=0, max_size=1400))
+    def test_roundtrip_property(self, payload):
+        pkt = Ipv4Packet("172.16.0.9", "8.8.8.8", 6, payload)
+        assert Ipv4Packet.decode(pkt.encode()).payload == payload
+
+
+class TestUdp:
+    def test_build_parse(self):
+        raw = build_udp("10.1.1.1", 5004, "20.2.2.2", 8554, b"rtsp-data", ident=7)
+        ip, sport, dport, payload = parse_udp(raw)
+        assert (sport, dport) == (5004, 8554)
+        assert payload == b"rtsp-data"
+        assert ip.identification == 7
+
+    def test_parse_non_udp(self):
+        raw = Ipv4Packet("1.1.1.1", "2.2.2.2", 6, b"tcp-ish").encode()
+        with pytest.raises(IpError):
+            parse_udp(raw)
+
+
+class TestFragmentation:
+    def test_small_packet_untouched(self):
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"x" * 100)
+        frags = fragment(pkt, mtu=1440)
+        assert frags == [pkt]
+
+    def test_fragmentation_and_reassembly(self):
+        payload = bytes(range(256)) * 10  # 2560 bytes
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, payload, identification=99)
+        frags = fragment(pkt, mtu=1440)
+        assert len(frags) == 2
+        assert frags[0].more_fragments and not frags[1].more_fragments
+        # fragments survive an encode/decode cycle
+        frags = [Ipv4Packet.decode(f.encode()) for f in frags]
+        reasm = FragmentReassembler()
+        assert reasm.push(frags[0], now=0.0) is None
+        whole = reasm.push(frags[1], now=0.0)
+        assert whole is not None
+        assert whole.payload == payload
+
+    def test_out_of_order_reassembly(self):
+        payload = b"z" * 4000
+        pkt = Ipv4Packet("3.3.3.3", "4.4.4.4", 17, payload, identification=5)
+        frags = fragment(pkt, mtu=1000)
+        reasm = FragmentReassembler()
+        whole = None
+        for f in reversed(frags):
+            whole = reasm.push(f, 0.0) or whole
+        assert whole is not None and whole.payload == payload
+
+    def test_offsets_are_8_byte_aligned(self):
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"y" * 3000)
+        for f in fragment(pkt, mtu=1440):
+            assert (f.fragment_offset * 8) % 8 == 0
+            assert f.total_length <= 1440
+
+    def test_df_raises(self):
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"n" * 3000, flags=FLAG_DF)
+        with pytest.raises(IpError):
+            fragment(pkt, mtu=1440)
+
+    def test_missing_fragment_no_delivery(self):
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"m" * 4000, identification=8)
+        frags = fragment(pkt, mtu=1000)
+        reasm = FragmentReassembler()
+        for f in frags[:-1]:
+            assert reasm.push(f, 0.0) is None
+
+    def test_reassembly_timeout(self):
+        pkt = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"t" * 4000, identification=9)
+        frags = fragment(pkt, mtu=1000)
+        reasm = FragmentReassembler(timeout=1.0)
+        reasm.push(frags[0], now=0.0)
+        assert reasm.expire(now=2.0) == 1
+        # the late fragment alone can no longer complete
+        assert reasm.push(frags[-1], now=2.1) is None
+
+    def test_interleaved_flows_keyed_separately(self):
+        a = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"a" * 3000, identification=1)
+        b = Ipv4Packet("1.1.1.1", "2.2.2.2", 17, b"b" * 3000, identification=2)
+        reasm = FragmentReassembler()
+        fa, fb = fragment(a, 1000), fragment(b, 1000)
+        done = []
+        for pair in zip(fa, fb):
+            for f in pair:
+                whole = reasm.push(f, 0.0)
+                if whole:
+                    done.append(whole)
+        assert sorted(w.identification for w in done) == [1, 2]
+        assert all(set(w.payload) in ({ord("a")}, {ord("b")}) for w in done)
+
+    @given(st.integers(min_value=100, max_value=8000), st.integers(min_value=200, max_value=1500))
+    def test_fragment_reassemble_property(self, size, mtu):
+        payload = bytes(i % 256 for i in range(size))
+        pkt = Ipv4Packet("9.9.9.9", "8.8.8.8", 17, payload, identification=size % 65536)
+        frags = fragment(pkt, mtu)
+        reasm = FragmentReassembler()
+        whole = None
+        for f in frags:
+            whole = reasm.push(f, 0.0) or whole
+        assert whole is not None
+        assert whole.payload == payload

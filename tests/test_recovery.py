@@ -1,0 +1,193 @@
+"""Opportunistic one-shot recovery planning (§4.5) and Theorem 4.1."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recovery import (
+    PathBudget,
+    RecoveryPolicy,
+    coded_packet_count,
+    decode_probability_bound,
+    plan_recovery,
+    recovery_seeds,
+)
+
+
+def budgets(*windows, usable=None):
+    out = []
+    for i, w in enumerate(windows):
+        u = True if usable is None else usable[i]
+        out.append(PathBudget(path_id=i, available_window=w, usable=u))
+    return out
+
+
+class TestCodedPacketCount:
+    def test_single_packet_needs_one(self):
+        assert coded_packet_count(1) == 1
+
+    def test_paper_default_plus_three(self):
+        assert coded_packet_count(10) == 13
+        assert coded_packet_count(2) == 5
+
+    def test_custom_extra(self):
+        assert coded_packet_count(4, extra=0) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coded_packet_count(0)
+
+
+class TestTheoremBound:
+    def test_k3_bound(self):
+        # Theorem 4.1 with the deployed k = 3
+        assert decode_probability_bound(3) == pytest.approx(1 - 1 / (255 ** 3 * 254))
+
+    def test_monotone_in_k(self):
+        values = [decode_probability_bound(k) for k in range(5)]
+        assert values == sorted(values)
+
+    def test_k0(self):
+        assert decode_probability_bound(0) == pytest.approx(1 - 1 / 254)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decode_probability_bound(-1)
+
+
+class TestPolicyValidation:
+    def test_rho_bounds(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(rho=1.0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(rho=1.2)
+        RecoveryPolicy(rho=1.19)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(spread_mode="bogus")
+
+
+class TestSinglePacketRecovery:
+    def test_one_copy_per_usable_path(self):
+        plan = plan_recovery(1, budgets(10, 10, 10, 10))
+        assert plan.n_coded == 1
+        assert len(plan.allocations) == 4
+        assert all(a.packets == 1 for a in plan.allocations)
+
+    def test_unusable_paths_excluded(self):
+        plan = plan_recovery(1, budgets(10, 10, usable=[True, False]))
+        assert [a.path_id for a in plan.allocations] == [0]
+
+    def test_no_window_delays(self):
+        assert plan_recovery(1, budgets(0, 0)) is None
+
+
+class TestRangeRecovery:
+    def test_delayed_when_window_insufficient(self):
+        # n=5 -> n'=8, but only 6 packets of window total
+        assert plan_recovery(5, budgets(3, 3)) is None
+
+    def test_executes_when_window_sufficient(self):
+        plan = plan_recovery(5, budgets(10, 10))
+        assert plan is not None
+        assert plan.n_coded == 8
+        assert plan.total_packets >= 8
+
+    def test_total_bounded_by_rho(self):
+        policy = RecoveryPolicy(rho=1.1)
+        plan = plan_recovery(10, budgets(100, 100, 100, 100), policy)
+        import math
+        assert plan.total_packets <= math.ceil(1.1 * 13)
+
+    def test_proportional_to_windows(self):
+        plan = plan_recovery(10, budgets(100, 10), RecoveryPolicy(rho=1.1))
+        alloc = {a.path_id: a.packets for a in plan.allocations}
+        assert alloc.get(0, 0) > alloc.get(1, 0)
+
+    def test_per_path_cap_strictly_below_rho_n(self):
+        import math
+        policy = RecoveryPolicy(rho=1.1)
+        plan = plan_recovery(6, budgets(1000), policy)  # single wide path
+        cap = math.ceil(policy.rho * plan.n_coded) - 1
+        assert all(a.packets <= cap for a in plan.allocations)
+
+    def test_exact_mode_sends_exactly_n_coded(self):
+        plan = plan_recovery(7, budgets(50, 50), RecoveryPolicy(spread_mode="exact"))
+        assert plan.total_packets == plan.n_coded == 10
+
+    def test_flood_mode_uses_spare_capacity(self):
+        flood = plan_recovery(5, budgets(50, 50, 50), RecoveryPolicy(spread_mode="flood"))
+        normal = plan_recovery(5, budgets(50, 50, 50), RecoveryPolicy())
+        assert flood.total_packets > normal.total_packets
+
+    def test_single_path_mode(self):
+        plan = plan_recovery(5, budgets(3, 20), RecoveryPolicy(spread_mode="single_path"))
+        assert len(plan.allocations) == 1
+        assert plan.allocations[0].path_id == 1
+        assert plan.allocations[0].packets == 8
+
+    def test_single_path_mode_insufficient(self):
+        assert plan_recovery(5, budgets(3, 4), RecoveryPolicy(spread_mode="single_path")) is None
+
+    def test_zero_window_paths_ignored(self):
+        plan = plan_recovery(3, budgets(0, 20))
+        assert [a.path_id for a in plan.allocations] == [1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        windows=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=6),
+    )
+    def test_plan_invariants(self, n, windows):
+        plan = plan_recovery(n, budgets(*windows))
+        total_window = sum(windows)
+        n_coded = coded_packet_count(n)
+        if n == 1:
+            if total_window < 1:
+                assert plan is None
+            else:
+                assert plan is not None
+            return
+        if total_window < n_coded:
+            assert plan is None
+            return
+        assert plan is not None
+        assert plan.total_packets >= n_coded
+        # never exceed any path's available window
+        for a in plan.allocations:
+            assert a.packets <= windows[a.path_id]
+            assert a.packets > 0
+
+
+class TestSeeds:
+    def test_count_and_range(self):
+        seeds = recovery_seeds(10, random.Random(1))
+        assert len(seeds) == 10
+        assert all(1 <= s < 2 ** 32 for s in seeds)
+
+    def test_deterministic_for_rng(self):
+        assert recovery_seeds(5, random.Random(7)) == recovery_seeds(5, random.Random(7))
+
+
+class TestMonteCarloDecodeProbability:
+    def test_empirical_decode_rate_meets_bound(self):
+        """Monte-Carlo check of Theorem 4.1 at k = 1 (weakest usable k)."""
+        import numpy as np
+        from repro.core.coefficients import coefficient_vector
+        from repro.core.gf256 import gf_matrix_rank
+
+        n, k, trials = 6, 1, 300
+        rng = random.Random(42)
+        success = 0
+        for _ in range(trials):
+            rows = [
+                coefficient_vector(rng.randrange(1, 2 ** 32), n) for _ in range(n + k)
+            ]
+            if gf_matrix_rank(np.array(rows, dtype=np.uint8)) == n:
+                success += 1
+        # bound: >= 1 - 1/(255*254) ~ 0.9999846; with 300 trials even one
+        # failure would be extraordinary, but allow it
+        assert success >= trials - 1

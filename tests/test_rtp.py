@@ -1,0 +1,127 @@
+"""RTP packetisation and frame-border sniffing (§4.4.2, RFC 3550)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video.rtp import (
+    DEFAULT_PAYLOAD_TYPE,
+    EXTENSION_PROFILE,
+    RtpError,
+    RtpPacket,
+    RtpPacketizer,
+    VIDEO_CLOCK_HZ,
+    sniff_frame_border,
+    sniff_frame_id,
+)
+
+
+class TestRtpPacket:
+    def test_roundtrip_without_extension(self):
+        pkt = RtpPacket(96, 100, 9000, 0xABCD1234, True, b"video-slice")
+        parsed = RtpPacket.decode(pkt.encode())
+        assert parsed.sequence == 100
+        assert parsed.timestamp == 9000
+        assert parsed.ssrc == 0xABCD1234
+        assert parsed.marker
+        assert parsed.payload == b"video-slice"
+        assert parsed.frame_id is None
+
+    def test_roundtrip_with_frame_extension(self):
+        pkt = RtpPacket(96, 5, 0, 1, False, b"x", frame_id=777)
+        parsed = RtpPacket.decode(pkt.encode())
+        assert parsed.frame_id == 777
+        assert parsed.payload == b"x"
+
+    def test_truncated(self):
+        with pytest.raises(RtpError):
+            RtpPacket.decode(b"\x80\x60\x00")
+
+    def test_wrong_version(self):
+        data = bytearray(RtpPacket(96, 1, 0, 1, False, b"p").encode())
+        data[0] = 0x00  # version 0
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(data))
+
+    def test_sequence_wraps_at_16_bits(self):
+        pkt = RtpPacket(96, 0x1FFFF, 0, 1, False, b"")
+        assert RtpPacket.decode(pkt.encode()).sequence == 0xFFFF
+
+    @given(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.booleans(),
+        st.binary(max_size=500),
+    )
+    def test_roundtrip_property(self, pt, seq, marker, payload):
+        pkt = RtpPacket(pt, seq, 12345, 42, marker, payload, frame_id=seq)
+        parsed = RtpPacket.decode(pkt.encode())
+        assert (parsed.payload_type, parsed.sequence, parsed.marker) == (pt, seq, marker)
+        assert parsed.payload == payload
+
+
+class TestPacketizer:
+    def test_marker_on_last_packet_only(self):
+        p = RtpPacketizer(mtu_payload=100)
+        packets = p.packetize(0, bytes(350))
+        assert len(packets) == 4
+        assert [pkt.marker for pkt in packets] == [False, False, False, True]
+
+    def test_sequence_continuous_across_frames(self):
+        p = RtpPacketizer(mtu_payload=100)
+        a = p.packetize(0, bytes(250))
+        b = p.packetize(1, bytes(100))
+        seqs = [pkt.sequence for pkt in a + b]
+        assert seqs == list(range(len(seqs)))
+
+    def test_timestamp_follows_video_clock(self):
+        p = RtpPacketizer(fps=30.0)
+        pkt = p.packetize(30, b"f")[0]
+        assert pkt.timestamp == VIDEO_CLOCK_HZ  # one second in
+
+    def test_empty_frame_still_one_packet(self):
+        packets = RtpPacketizer().packetize(0, b"")
+        assert len(packets) == 1 and packets[0].marker
+
+    def test_invalid_mtu(self):
+        with pytest.raises(ValueError):
+            RtpPacketizer(mtu_payload=0)
+
+
+class TestSniffers:
+    def test_sniff_marker(self):
+        last = RtpPacket(96, 1, 0, 1, True, b"tail").encode()
+        mid = RtpPacket(96, 2, 0, 1, False, b"mid").encode()
+        assert sniff_frame_border(last) is True
+        assert sniff_frame_border(mid) is False
+
+    def test_sniff_encrypted_traffic_returns_none(self):
+        assert sniff_frame_border(b"\x17\x03\x03 encrypted tls-ish junk") is None
+        assert sniff_frame_id(b"") is None
+
+    def test_sniff_frame_id(self):
+        pkt = RtpPacket(96, 1, 0, 1, False, b"x", frame_id=31337).encode()
+        assert sniff_frame_id(pkt) == 31337
+
+
+class TestXncIntegration:
+    def test_client_sniffs_frame_ids_from_rtp(self):
+        """Untagged RTP traffic still gets frame borders in the queue."""
+        from repro.core.endpoint import XncConfig, XncTunnelClient, XncTunnelServer
+        from repro.emulation.emulator import MultipathEmulator
+        from repro.emulation.events import EventLoop
+        from repro.emulation.trace import LinkTrace, opportunities_from_rate
+        from repro.multipath.path import PathManager, PathState
+        from repro.quic.cc.base import CongestionController
+
+        loop = EventLoop()
+        trace = LinkTrace("p", opportunities_from_rate(10.0, 10.0), 10.0)
+        emu = MultipathEmulator(loop, [trace])
+        server = XncTunnelServer(loop, emu, lambda *a: None)
+        client = XncTunnelClient(
+            loop, emu, PathManager([PathState(0, cc=CongestionController())]), XncConfig()
+        )
+        packetizer = RtpPacketizer(mtu_payload=200)
+        for rtp in packetizer.packetize(7, bytes(500)):
+            app_id = client.send_app_packet(rtp.encode())  # no frame_id arg
+            assert client._app_meta[app_id].frame_id == 7

@@ -1,0 +1,194 @@
+"""Path state and the multipath scheduler family."""
+
+import pytest
+
+from repro.multipath.path import PathManager, PathState
+from repro.multipath.scheduler.bonding import BondingScheduler, hash_five_tuple
+from repro.multipath.scheduler.ecf import EcfScheduler
+from repro.multipath.scheduler.minrtt import MinRttScheduler
+from repro.multipath.scheduler.redundant import RedundantScheduler
+from repro.multipath.scheduler.roundrobin import RoundRobinScheduler
+from repro.multipath.scheduler.xlink import XlinkScheduler
+from repro.quic.cc.base import CongestionController
+
+
+def make_path(pid, srtt=0.05, cwnd=20000, inflight=0, min_rtt=None):
+    p = PathState(pid, cc=CongestionController())
+    p.cc.cwnd = cwnd
+    p.cc.bytes_in_flight = inflight
+    p.rtt.update(srtt)
+    if min_rtt is not None:
+        p.rtt.min_rtt = min_rtt
+    return p
+
+
+class TestPathState:
+    def test_packet_numbers_monotonic(self):
+        p = make_path(0)
+        assert [p.next_packet_number() for _ in range(3)] == [0, 1, 2]
+
+    def test_on_acked_updates_everything(self):
+        p = make_path(0)
+        p.on_acked(1000, 0.04, 0.0, now=1.0)
+        assert p.packets_acked == 1
+        assert p.last_ack_time == 1.0
+        assert p.rtt.latest_rtt == pytest.approx(0.04)
+
+    def test_potentially_failed_after_quiet_period(self):
+        p = make_path(0, srtt=0.05)
+        p.on_sent(1000, now=0.0)
+        assert not p.potentially_failed(now=0.05)
+        assert p.potentially_failed(now=10.0)
+
+    def test_ack_resets_failure_suspicion(self):
+        p = make_path(0, srtt=0.05)
+        p.on_sent(1000, now=0.0)
+        p.on_acked(1000, 0.05, 0.0, now=9.9)
+        assert not p.potentially_failed(now=10.0)
+
+    def test_never_sent_never_failed(self):
+        p = make_path(0)
+        assert not p.potentially_failed(now=100.0)
+
+    def test_disabled_path_unusable(self):
+        p = make_path(0)
+        p.enabled = False
+        assert not p.is_usable(now=0.0)
+        assert not p.can_send(100)
+
+
+class TestPathManager:
+    def test_add_get_iterate(self):
+        m = PathManager([make_path(1), make_path(0)])
+        assert [p.path_id for p in m] == [0, 1]
+        assert m.get(1).path_id == 1
+        assert len(m) == 2
+
+    def test_duplicate_rejected(self):
+        m = PathManager([make_path(0)])
+        with pytest.raises(ValueError):
+            m.add(make_path(0))
+
+    def test_with_window_filters(self):
+        a = make_path(0, cwnd=100)
+        b = make_path(1, cwnd=100000)
+        m = PathManager([a, b])
+        assert [p.path_id for p in m.with_window(5000, now=0.0)] == [1]
+
+    def test_total_available_packets(self):
+        a = make_path(0, cwnd=2800)
+        b = make_path(1, cwnd=14000)
+        m = PathManager([a, b])
+        assert m.total_available_packets(now=0.0) == 2 + 10
+
+
+class TestMinRtt:
+    def test_picks_lowest_rtt(self):
+        paths = [make_path(0, srtt=0.08), make_path(1, srtt=0.02), make_path(2, srtt=0.05)]
+        sel = MinRttScheduler().select(paths, 1000, now=0.0)
+        assert [p.path_id for p in sel] == [1]
+
+    def test_skips_window_limited(self):
+        paths = [make_path(0, srtt=0.02, cwnd=100), make_path(1, srtt=0.08)]
+        sel = MinRttScheduler().select(paths, 1000, now=0.0)
+        assert [p.path_id for p in sel] == [1]
+
+    def test_empty_when_all_blocked(self):
+        paths = [make_path(0, cwnd=100)]
+        assert MinRttScheduler().select(paths, 1000, now=0.0) == []
+
+    def test_tie_broken_by_path_id(self):
+        paths = [make_path(1, srtt=0.05), make_path(0, srtt=0.05)]
+        sel = MinRttScheduler().select(paths, 1000, now=0.0)
+        assert sel[0].path_id == 0
+
+
+class TestRedundant:
+    def test_duplicates_on_all_available(self):
+        paths = [make_path(0), make_path(1), make_path(2, cwnd=100)]
+        sel = RedundantScheduler().select(paths, 1000, now=0.0)
+        assert sorted(p.path_id for p in sel) == [0, 1]
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        paths = [make_path(0), make_path(1), make_path(2)]
+        rr = RoundRobinScheduler()
+        order = [rr.select(paths, 100, 0.0)[0].path_id for _ in range(6)]
+        assert order == [0, 1, 2, 0, 1, 2]
+
+
+class TestEcf:
+    def test_uses_fast_path_when_open(self):
+        paths = [make_path(0, srtt=0.02), make_path(1, srtt=0.2)]
+        sel = EcfScheduler().select(paths, 1000, now=0.0)
+        assert [p.path_id for p in sel] == [0]
+
+    def test_waits_for_fast_path_when_slow_is_hopeless(self):
+        # fast path blocked but huge rate; slow path ~10x RTT and tiny rate
+        fast = make_path(0, srtt=0.02, cwnd=200_000, inflight=200_000)
+        slow = make_path(1, srtt=0.8, cwnd=3000)
+        sched = EcfScheduler()
+        sched.queued_bytes_hint = 0
+        assert sched.select([fast, slow], 1000, now=0.0) == []
+
+    def test_uses_slow_path_when_it_wins(self):
+        fast = make_path(0, srtt=0.05, cwnd=10_000, inflight=10_000)
+        slow = make_path(1, srtt=0.06, cwnd=100_000)
+        sel = EcfScheduler().select([fast, slow], 1000, now=0.0)
+        assert [p.path_id for p in sel] == [1]
+
+    def test_no_paths(self):
+        assert EcfScheduler().select([], 1000, 0.0) == []
+
+
+class TestXlink:
+    def test_single_path_when_primary_healthy(self):
+        paths = [make_path(0, srtt=0.05, min_rtt=0.05), make_path(1, srtt=0.08, min_rtt=0.08)]
+        sel = XlinkScheduler().select(paths, 1000, now=0.0)
+        assert [p.path_id for p in sel] == [0]
+
+    def test_duplicates_when_primary_risky(self):
+        # primary's smoothed RTT has ballooned vs the floor
+        risky = make_path(0, srtt=0.15, min_rtt=0.03)
+        backup = make_path(1, srtt=0.16, min_rtt=0.1)
+        sel = XlinkScheduler().select([risky, backup], 1000, now=0.0)
+        assert [p.path_id for p in sel] == [0, 1]
+
+
+class TestBonding:
+    def test_hash_stable(self):
+        ft = ("10.0.0.1", 5004, "1.2.3.4", 8554, 17)
+        assert hash_five_tuple(ft, 4) == hash_five_tuple(ft, 4)
+
+    def test_hash_bounds(self):
+        for port in range(100):
+            ft = ("10.0.0.1", port, "1.2.3.4", 8554, 17)
+            assert 0 <= hash_five_tuple(ft, 4) < 4
+
+    def test_invalid_path_count(self):
+        with pytest.raises(ValueError):
+            hash_five_tuple(("a", 1, "b", 2, 17), 0)
+
+    def test_pins_to_one_path(self):
+        paths = [make_path(i) for i in range(4)]
+        sched = BondingScheduler()
+        first = sched.select(paths, 1000, now=0.0)
+        again = sched.select(paths, 1000, now=0.0)
+        assert len(first) == 1
+        assert first[0].path_id == again[0].path_id
+
+    def test_failover_when_pinned_dies(self):
+        paths = [make_path(i, srtt=0.05) for i in range(2)]
+        sched = BondingScheduler()
+        pinned = sched.select(paths, 1000, now=0.0)[0]
+        # pinned path goes quiet with data outstanding
+        pinned.on_sent(1000, now=0.0)
+        later = 100.0
+        sel = sched.select(paths, 1000, now=later)
+        assert sel and sel[0].path_id != pinned.path_id
+
+    def test_blocked_pinned_path_sends_nothing(self):
+        paths = [make_path(0, cwnd=100), make_path(1, cwnd=100)]
+        sched = BondingScheduler()
+        assert sched.select(paths, 1000, now=0.0) == []

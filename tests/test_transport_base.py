@@ -1,0 +1,160 @@
+"""Shared tunnel machinery: pump, ACK processing, cc loss, server ACKs."""
+
+import pytest
+
+from repro.baselines.reliable import UnorderedTunnelServer
+from repro.core.frames import XncNcFrame
+from repro.core.rlnc import frame_payload
+from repro.emulation.emulator import MultipathEmulator
+from repro.emulation.events import EventLoop
+from repro.emulation.trace import LinkTrace, LossProcess, opportunities_from_rate
+from repro.multipath.path import PathManager, PathState
+from repro.multipath.scheduler.minrtt import MinRttScheduler
+from repro.quic.cc.base import CongestionController
+from repro.transport.base import AppPacket, TunnelClientBase, TunnelServerBase
+
+
+class EchoClient(TunnelClientBase):
+    """Minimal concrete client: frames payloads, records callbacks."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.acked_ids = []
+        self.cc_lost_infos = []
+
+    def _build_frame(self, pkt: AppPacket):
+        return XncNcFrame.original(pkt.packet_id, frame_payload(pkt.payload))
+
+    def _on_app_acked(self, app_ids, info):
+        self.acked_ids.extend(app_ids)
+
+    def _on_cc_lost(self, info, now):
+        self.cc_lost_infos.append(info)
+
+
+def build_world(rate=20.0, duration=20.0, loss=None, n_paths=2, seed=0):
+    loop = EventLoop()
+    traces = [
+        LinkTrace(
+            "p%d" % i,
+            opportunities_from_rate(rate, duration),
+            duration,
+            base_delay=0.01,
+            loss=loss or LossProcess.zero(),
+        )
+        for i in range(n_paths)
+    ]
+    emu = MultipathEmulator(loop, traces, seed=seed)
+    paths = PathManager([PathState(i, cc=CongestionController()) for i in range(n_paths)])
+    received = []
+    server = UnorderedTunnelServer(loop, emu, lambda pid, data, t: received.append((pid, data, t)))
+    client = EchoClient(loop, emu, paths, MinRttScheduler())
+    return loop, emu, client, server, received
+
+
+class TestClientFlow:
+    def test_end_to_end_delivery(self):
+        loop, emu, client, server, received = build_world()
+        client.send_app_packet(b"hello", frame_id=0)
+        loop.run_until(1.0)
+        assert [(pid, data) for pid, data, _t in received] == [(0, b"hello")]
+
+    def test_app_ids_sequential(self):
+        loop, emu, client, server, received = build_world()
+        ids = [client.send_app_packet(b"x") for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_acks_flow_back(self):
+        loop, emu, client, server, received = build_world()
+        client.send_app_packet(b"data")
+        loop.run_until(1.0)
+        assert client.acked_ids == [0]
+        assert client.stats.acks_received >= 1
+
+    def test_rtt_estimated_from_acks(self):
+        loop, emu, client, server, received = build_world()
+        for _ in range(20):
+            client.send_app_packet(b"data")
+        loop.run_until(2.0)
+        path = client.paths.get(0)
+        assert path.rtt.has_samples
+        # ~2x base_delay (10 ms each way) plus queueing/ack delay
+        assert 0.015 < path.rtt.smoothed_rtt < 0.2
+
+    def test_ingress_queue_cap(self):
+        loop, emu, client, server, received = build_world(rate=0.1)
+        client.ingress_limit = 10
+        for _ in range(50):
+            client.send_app_packet(b"y" * 800)
+        assert client.stats.ingress_dropped > 0
+        assert client.backlog_packets <= 10
+
+    def test_cc_loss_fires_on_black_hole(self):
+        loop, emu, client, server, received = build_world(loss=LossProcess.constant(1.0))
+        client.send_app_packet(b"doomed")
+        loop.run_until(3.0)
+        assert received == []
+        assert client.cc_lost_infos, "loss should be declared after PTO"
+
+    def test_window_blocks_pump(self):
+        loop, emu, client, server, received = build_world()
+        for p in client.paths:
+            p.cc.cwnd = 1500  # one packet at a time, per path
+        for _ in range(10):
+            client.send_app_packet(b"z" * 1200)
+        # immediately, at most 2 packets (one per path) are in flight
+        assert client.stats.first_tx_packets <= 2
+        loop.run_until(2.0)
+        # window reopens on acks and everything eventually flows
+        assert len(received) == 10
+
+    def test_close_stops_activity(self):
+        loop, emu, client, server, received = build_world()
+        client.send_app_packet(b"a")
+        loop.run_until(0.5)
+        client.close()
+        client.send_app_packet(b"b")
+        loop.run_until(2.0)
+        assert len(received) == 1
+
+    def test_redundancy_zero_without_loss(self):
+        loop, emu, client, server, received = build_world()
+        for _ in range(50):
+            client.send_app_packet(b"k" * 500)
+        loop.run_until(2.0)
+        assert client.stats.redundancy_ratio == 0.0
+
+
+class TestServerBehaviour:
+    def test_acks_every_other_packet(self):
+        loop, emu, client, server, received = build_world()
+        for _ in range(10):
+            client.send_app_packet(b"q")
+        loop.run_until(1.0)
+        # at ack_every=2, ~5 acks for 10 packets on one path (+/- timer acks)
+        assert 4 <= client.stats.acks_received <= 12
+
+    def test_delayed_ack_timer(self):
+        loop, emu, client, server, received = build_world()
+        client.send_app_packet(b"solo")  # one packet: below ack_every
+        loop.run_until(1.0)
+        assert client.acked_ids == [0]  # max_ack_delay timer fired
+
+    def test_duplicate_packet_counted(self):
+        loop, emu, client, server, received = build_world()
+        # send the same QUIC packet twice by direct emulator injection
+        from repro.quic.packet import QuicPacket
+        frame = XncNcFrame.original(0, frame_payload(b"dup"))
+        pkt = QuicPacket(path_id=0, packet_number=0, frames=[frame])
+        emu.send_uplink(0, pkt, pkt.wire_size)
+        emu.send_uplink(0, pkt, pkt.wire_size)
+        loop.run_until(1.0)
+        assert server.duplicates == 1
+        assert len(received) == 1  # app-level dedup too
+
+    def test_server_close_stops_acks(self):
+        loop, emu, client, server, received = build_world()
+        server.close()
+        client.send_app_packet(b"x")
+        loop.run_until(1.0)
+        assert client.stats.acks_received == 0

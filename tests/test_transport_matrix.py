@@ -1,0 +1,73 @@
+"""Scheduler x congestion-controller matrix: every combination streams.
+
+The runner wires specific pairings (the paper's arms); this matrix checks
+the machinery composes freely — any scheduler with any controller moves
+data, keeps accounting consistent, and never wedges.
+"""
+
+import pytest
+
+from repro.baselines.reliable import UnorderedTunnelServer
+from repro.core.frames import XncNcFrame
+from repro.core.rlnc import frame_payload
+from repro.emulation.emulator import MultipathEmulator
+from repro.emulation.events import EventLoop
+from repro.emulation.trace import LinkTrace, LossProcess, opportunities_from_rate
+from repro.multipath.path import PathManager, PathState
+from repro.multipath.scheduler.ecf import EcfScheduler
+from repro.multipath.scheduler.minrtt import MinRttScheduler
+from repro.multipath.scheduler.redundant import RedundantScheduler
+from repro.multipath.scheduler.roundrobin import RoundRobinScheduler
+from repro.multipath.scheduler.xlink import XlinkScheduler
+from repro.quic.cc.base import CongestionController
+from repro.quic.cc.bbr import BbrController
+from repro.quic.cc.newreno import NewRenoController
+from repro.transport.base import AppPacket, TunnelClientBase
+
+SCHEDULERS = {
+    "minRTT": MinRttScheduler,
+    "RE": RedundantScheduler,
+    "ECF": EcfScheduler,
+    "XLINK": XlinkScheduler,
+    "roundrobin": RoundRobinScheduler,
+}
+CONTROLLERS = {
+    "base": CongestionController,
+    "newreno": NewRenoController,
+    "bbr": BbrController,
+}
+
+
+class PlainClient(TunnelClientBase):
+    def _build_frame(self, pkt: AppPacket):
+        return XncNcFrame.original(pkt.packet_id, frame_payload(pkt.payload))
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("cc_name", sorted(CONTROLLERS))
+def test_combination_streams(sched_name, cc_name):
+    loop = EventLoop()
+    duration = 20.0
+    traces = [
+        LinkTrace("p%d" % i, opportunities_from_rate(15.0, duration), duration,
+                  base_delay=0.01 + 0.01 * i, loss=LossProcess.constant(0.02))
+        for i in range(3)
+    ]
+    emu = MultipathEmulator(loop, traces, seed=1)
+    received = []
+    server = UnorderedTunnelServer(loop, emu, lambda pid, d, t: received.append(pid))
+    paths = PathManager([PathState(i, cc=CONTROLLERS[cc_name]()) for i in range(3)])
+    client = PlainClient(loop, emu, paths, SCHEDULERS[sched_name]())
+    n = 300
+    for i in range(n):
+        loop.call_later(i * 0.01, client.send_app_packet, b"m%04d" % i)
+    loop.run_until(8.0)
+    # an unreliable tunnel on 2% random loss: the vast majority arrives
+    assert len(set(received)) >= n * 0.90, (
+        "%s+%s delivered only %d/%d" % (sched_name, cc_name, len(set(received)), n)
+    )
+    # in-flight accounting must drain once the stream stops
+    for p in paths:
+        assert p.cc.bytes_in_flight >= 0
+    # no duplicates at the app layer (RE duplicates on the wire only)
+    assert len(received) == len(set(received))
