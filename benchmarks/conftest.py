@@ -35,6 +35,19 @@ def write_result(name: str, text: str) -> None:
     print("\n" + text)
 
 
+def write_telemetry_snapshot(name: str, telemetry) -> str:
+    """Export a run's telemetry as JSONL next to the benchmark results.
+
+    Returns the path written.  Benchmarks that stream with
+    ``run_stream(..., telemetry=True)`` can snapshot the full
+    packet-lifecycle record for later analysis (see docs/telemetry.md).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.telemetry.jsonl" % name)
+    telemetry.export_jsonl(str(path))
+    return str(path)
+
+
 @pytest.fixture
 def once(benchmark):
     """Run an expensive experiment exactly once under pytest-benchmark."""

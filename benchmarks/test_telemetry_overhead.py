@@ -1,0 +1,63 @@
+"""Telemetry-layer overhead guardrail.
+
+Two promises from docs/telemetry.md are enforced here:
+
+* the *disabled* layer (the ``NULL_TELEMETRY`` fast path every hot call
+  site guards on) costs under 5 % of a streaming run — checked with the
+  same bound ``tools/check_telemetry_overhead.py`` computes;
+* the *enabled* layer captures all three record kinds (lifecycle events,
+  metrics, per-path timeline samples) for a standard run, snapshotted to
+  ``benchmarks/results/`` as JSONL.
+"""
+
+import sys
+from pathlib import Path
+
+from conftest import bench_duration, write_result, write_telemetry_snapshot
+from repro.experiments.runner import run_stream
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_telemetry_overhead import (  # noqa: E402
+    best_wall_time,
+    count_activations,
+    measure_guard_ns,
+)
+
+
+def test_disabled_overhead_bound(once):
+    duration = bench_duration(4.0)
+
+    def run():
+        guard_ns = measure_guard_ns()
+        activations = count_activations(duration, seed=1)
+        off = best_wall_time(False, duration, seed=1, runs=2)
+        on = best_wall_time(True, duration, seed=1, runs=2)
+        bound_pct = activations * guard_ns * 1e-9 / off * 100.0
+        return guard_ns, activations, off, on, bound_pct
+
+    guard_ns, activations, off, on, bound_pct = once(run)
+    write_result(
+        "telemetry_overhead",
+        "telemetry overhead (cellfusion, %.0fs run):\n"
+        "  disabled guard      %6.0f ns/site x %d sites -> %.2f%% bound\n"
+        "  wall time           off %.3fs  on %.3fs (+%.1f%%)"
+        % (duration, guard_ns, activations, bound_pct,
+           off, on, (on - off) / off * 100.0),
+    )
+    assert bound_pct < 5.0, (
+        "disabled telemetry overhead bound %.2f%% exceeds 5%%" % bound_pct
+    )
+
+
+def test_telemetry_snapshot_complete(once):
+    result = once(
+        run_stream, "cellfusion", duration=bench_duration(4.0), seed=1,
+        telemetry=True,
+    )
+    tel = result.telemetry
+    path = write_telemetry_snapshot("fig_run_cellfusion", tel)
+    kinds = {r["type"] for r in tel.records()}
+    assert {"meta", "event", "metric", "path_sample", "stats"} <= kinds, kinds
+    assert tel.trace.emitted > 0 and Path(path).exists()

@@ -41,6 +41,31 @@ def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
     return arr, probs
 
 
+def delays_from_telemetry(path: str) -> List[float]:
+    """Per-packet capture-to-decode delays from a telemetry JSONL export.
+
+    Pairs each ``app_in`` event with the first ``decoded`` event of the
+    same app packet id (range-scoped decode events are expanded over
+    their span), giving the Fig. 10a quantity straight from the trace —
+    feed the result to :func:`tail_percentiles` or :func:`cdf`.
+    """
+    from ..obs import read_jsonl
+
+    t_in: Dict[int, float] = {}
+    t_out: Dict[int, float] = {}
+    for rec in read_jsonl(path):
+        if rec.get("type") != "event":
+            continue
+        kind = rec.get("kind")
+        if kind == "app_in":
+            t_in[rec["packet_id"]] = rec["t"]
+        elif kind == "decoded":
+            for pid in range(rec["packet_id"],
+                             rec["packet_id"] + rec.get("count", 1)):
+                t_out.setdefault(pid, rec["t"])
+    return sorted(t_out[p] - t_in[p] for p in t_out if p in t_in)
+
+
 def reduction_pct(baseline: float, improved: float) -> float:
     """Percent reduction of ``improved`` relative to ``baseline``."""
     if baseline == 0:

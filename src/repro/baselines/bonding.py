@@ -57,9 +57,11 @@ class BondingTunnelClient(TunnelClientBase):
         emulator: MultipathEmulator,
         paths: Optional[PathManager] = None,
         five_tuple: Optional[FiveTuple] = None,
+        telemetry=None,
     ):
         paths = paths or build_bonding_paths(emulator)
-        super().__init__(loop, emulator, paths, BondingScheduler(five_tuple))
+        super().__init__(loop, emulator, paths, BondingScheduler(five_tuple),
+                         telemetry=telemetry)
 
     def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
         return XncNcFrame.original(pkt.packet_id, frame_payload(pkt.payload))

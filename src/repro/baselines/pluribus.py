@@ -69,8 +69,10 @@ class PluribusTunnelClient(TunnelClientBase):
         paths: PathManager,
         config: Optional[PluribusConfig] = None,
         scheduler: Optional[Scheduler] = None,
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler())
+        super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
+                         telemetry=telemetry)
         self.config = config or PluribusConfig()
         self.encoder = RlncEncoder(simd=True)
         self._rng = random.Random(self.config.seed)

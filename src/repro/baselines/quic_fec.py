@@ -62,8 +62,10 @@ class FecTunnelClient(TunnelClientBase):
         paths: PathManager,
         config: Optional[FecConfig] = None,
         scheduler: Optional[Scheduler] = None,
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler())
+        super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
+                         telemetry=telemetry)
         self.config = config or FecConfig()
         self.encoder = RlncEncoder(simd=True)
         self._rng = random.Random(self.config.seed)

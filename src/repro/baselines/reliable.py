@@ -36,8 +36,9 @@ class ReliableTunnelClient(TunnelClientBase):
         emulator: MultipathEmulator,
         paths: PathManager,
         scheduler: Scheduler,
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, paths, scheduler)
+        super().__init__(loop, emulator, paths, scheduler, telemetry=telemetry)
         self._payloads: Dict[int, AppPacket] = {}
         self._delivered: Set[int] = set()
         self._retx: Deque[int] = deque()
@@ -103,8 +104,9 @@ class InOrderTunnelServer(TunnelServerBase):
         loop: EventLoop,
         emulator: MultipathEmulator,
         on_app_packet: Callable[[int, bytes, float], None],
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, on_app_packet)
+        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry)
         self._buffer: Dict[int, bytes] = {}
         self._expected = 0
         self.max_buffered = 0
@@ -137,8 +139,9 @@ class UnorderedTunnelServer(TunnelServerBase):
         loop: EventLoop,
         emulator: MultipathEmulator,
         on_app_packet: Callable[[int, bytes, float], None],
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, on_app_packet)
+        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry)
         self._seen: Set[int] = set()
 
     def _handle_frame(self, path_id: int, frame: XncNcFrame, now: float) -> None:

@@ -9,11 +9,18 @@ Commands:
 * ``figure`` — regenerate one paper figure's rows (fig3, fig8, fig9,
   fig10a, fig10b, fig11, fig12, fig13a, fig13b);
 * ``trace`` — synthesise a cellular drive trace and export it.
+
+``run --telemetry`` turns on the observability layer for the session and
+prints the run summary (event counts, histogram tails, per-path
+timelines); ``--telemetry-out FILE`` additionally exports everything as
+JSONL (see docs/telemetry.md).  ``--log-level`` configures the ``repro.*``
+logging namespace once for the whole process.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -25,6 +32,21 @@ from .experiments import figures
 from .experiments.runner import TRANSPORT_NAMES, run_stream
 from .video.source import VideoConfig
 
+logger = logging.getLogger(__name__)
+
+
+def configure_logging(level: str = "warning") -> None:
+    """Configure the ``repro.*`` logger namespace once (idempotent)."""
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+        root.propagate = False
+    root.setLevel(getattr(logging, level.upper()))
+
 
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--duration", type=float, default=10.0, help="seconds of streaming")
@@ -33,11 +55,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    telemetry = bool(args.telemetry or args.telemetry_out)
     result = run_stream(
         args.transport,
         duration=args.duration,
         seed=args.seed,
         video=VideoConfig(bitrate_mbps=args.bitrate, seed=args.seed + 1),
+        telemetry=telemetry,
     )
     print(format_qoe_rows({args.transport: result}))
     if result.packet_delays:
@@ -45,6 +69,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("packet delay: " + "  ".join("%s=%.1fms" % (k, v * 1000) for k, v in pct.items()))
     print("delivery %.2f%%  redundancy %.2f%%"
           % (result.delivery_ratio * 100, result.redundancy_ratio * 100))
+    if telemetry:
+        print()
+        print(result.telemetry.summary_table())
+        if args.telemetry_out:
+            n = result.telemetry.export_jsonl(args.telemetry_out)
+            print("wrote %d telemetry records to %s" % (n, args.telemetry_out))
     return 0
 
 
@@ -131,11 +161,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="logging level for the repro.* namespace",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="stream one session")
     p_run.add_argument("transport", choices=TRANSPORT_NAMES)
     _add_common(p_run)
+    p_run.add_argument("--telemetry", action="store_true",
+                       help="record and print packet-lifecycle telemetry")
+    p_run.add_argument("--telemetry-out", metavar="FILE",
+                       help="export telemetry as JSONL (implies --telemetry)")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare transports on the same traces")
@@ -162,4 +201,5 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)

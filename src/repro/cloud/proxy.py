@@ -29,6 +29,11 @@ class ProxyStats:
     nat_errors: int = 0
     parse_errors: int = 0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class ProxyServer:
     """One CellFusion proxy container at a CDN PoP."""

@@ -32,6 +32,7 @@ from ..emulation.events import EventLoop
 from ..multipath.path import PathManager
 from ..multipath.scheduler.base import Scheduler
 from ..multipath.scheduler.minrtt import MinRttScheduler
+from ..obs import trace as ev
 from ..transport.base import AppPacket, SentInfo, TunnelClientBase, TunnelServerBase
 from .frames import XncNcFrame
 from .loss_detection import QoeLossPolicy
@@ -84,8 +85,10 @@ class XncTunnelClient(TunnelClientBase):
         paths: PathManager,
         config: Optional[XncConfig] = None,
         scheduler: Optional[Scheduler] = None,
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, paths, scheduler or MinRttScheduler())
+        super().__init__(loop, emulator, paths, scheduler or MinRttScheduler(),
+                         telemetry=telemetry)
         self.config = config or XncConfig()
         self.encoder = RlncEncoder(simd=self.config.simd)
         self.retrans_queue = RetransmissionQueue(self.config.range_policy)
@@ -145,6 +148,7 @@ class XncTunnelClient(TunnelClientBase):
 
     def _qoe_scan(self, now: float) -> None:
         """Mark overdue in-flight packets lost per min(app_threshold, PTO)."""
+        tel = self.telemetry
         for path in self.paths:
             threshold = self.config.loss_policy.threshold(*path.rtt.as_tuple())
             for info in self.in_flight_infos(path.path_id):
@@ -157,9 +161,13 @@ class XncTunnelClient(TunnelClientBase):
                     meta = self._app_meta.get(app_id)
                     if meta is None or meta.delivered or meta.forgotten:
                         continue
-                    self.retrans_queue.add(
+                    if self.retrans_queue.add(
                         LostPacket(app_id, info.sent_time, meta.frame_id)
-                    )
+                    ) and tel.enabled:
+                        tel.event(now, ev.QOE_LOSS, app_id, path.path_id,
+                                  overdue=now - info.sent_time,
+                                  threshold=threshold)
+                        tel.count("xnc.qoe_loss")
 
     def _on_cc_lost(self, info: SentInfo, now: float) -> None:
         # cc-level loss implies the QoE threshold has long passed; make sure
@@ -185,21 +193,35 @@ class XncTunnelClient(TunnelClientBase):
         return budgets
 
     def _attempt_recoveries(self, now: float) -> None:
-        expired_before = self.retrans_queue.expired_packets
-        ranges = self.retrans_queue.ranges(now)
-        newly_expired = self.retrans_queue.expired_packets - expired_before
-        if newly_expired:
-            self.stats.expired_packets += newly_expired
+        tel = self.telemetry
+        stale = self.retrans_queue.expire(now)
+        if stale:
+            self.stats.expired_packets += len(stale)
             self.ranges_expired += 1
+            if tel.enabled:
+                for pkt in stale:
+                    tel.event(now, ev.EXPIRED, pkt.packet_id,
+                              where="retrans_queue")
+                tel.count("xnc.expired", len(stale))
+        ranges = self.retrans_queue.ranges()
         for rng in ranges:
             plan = plan_recovery(rng.count, self._path_budgets(now), self.config.recovery_policy)
             if plan is None:
                 self.recoveries_delayed += 1
+                if tel.enabled:
+                    tel.count("xnc.recovery_delayed")
                 continue
             self._execute_plan(rng, plan)
 
     def _execute_plan(self, rng: EncodeRange, plan) -> None:
         self.recoveries_executed += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(self.loop.now, ev.RANGE_FORMED, rng.start_id,
+                      count=rng.count, n_prime=plan.total_packets,
+                      paths=[a.path_id for a in plan.allocations])
+            tel.observe("xnc.range_size", rng.count)
+            tel.observe("xnc.recovery_n", plan.total_packets)
         if rng.count == 1 or not self.config.coding_enabled:
             self._send_uncoded_recovery(rng, plan)
         else:
@@ -263,8 +285,10 @@ class XncTunnelServer(TunnelServerBase):
         emulator: MultipathEmulator,
         on_app_packet: Callable[[int, bytes, float], None],
         connection_id: int = 0,
+        telemetry=None,
     ):
-        super().__init__(loop, emulator, on_app_packet, connection_id=connection_id)
+        super().__init__(loop, emulator, on_app_packet, connection_id=connection_id,
+                         telemetry=telemetry)
         self.decoder = RlncDecoder()
         self._range_first_seen: Dict[Tuple[int, int], float] = {}
         self._gc_counter = 0
@@ -274,7 +298,12 @@ class XncTunnelServer(TunnelServerBase):
         key = (h.start_id, h.packet_count)
         if h.is_coded and key not in self._range_first_seen:
             self._range_first_seen[key] = now
+        tel = self.telemetry
         for packet_id, payload in self.decoder.push(h.start_id, h.packet_count, h.random_seed, frame.payload):
+            if tel.enabled:
+                tel.event(now, ev.DECODED, packet_id, path_id,
+                          coded=bool(h.is_coded))
+                tel.count("server.decoded")
             self.on_app_packet(packet_id, payload, now)
         self._gc_counter += 1
         if self._gc_counter % 512 == 0:

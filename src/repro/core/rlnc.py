@@ -255,6 +255,11 @@ class DecodeStats:
     ranges_completed: int = 0
     packets_recovered: int = 0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class RlncDecoder:
     """Receiver-side decoder fed by XNC_NC frame payloads (Fig. 7).

@@ -42,6 +42,11 @@ class CpeStats:
     snat_rewrites: int = 0
     auth_failures: int = 0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class CpeBox:
     """One vehicle's CellFusion CPE."""

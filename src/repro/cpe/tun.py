@@ -30,6 +30,11 @@ class TunStats:
     reassembled: int = 0
     errors: int = 0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class TunInterface:
     """One side's tun device: capture toward the tunnel, inject from it."""

@@ -47,6 +47,7 @@ class MultipathEmulator:
         downlink_traces: Optional[Sequence[LinkTrace]] = None,
         queue_limit_bytes: int = DEFAULT_QUEUE_LIMIT_BYTES,
         seed: int = 0,
+        telemetry=None,
     ):
         if not uplink_traces:
             raise ValueError("need at least one uplink trace")
@@ -62,10 +63,12 @@ class MultipathEmulator:
         self.channels: List[PathChannel] = []
         for i, (up, down) in enumerate(zip(uplink_traces, downlink_traces)):
             up_link = EmulatedLink(
-                loop, up, self._make_deliver(i, "up"), queue_limit_bytes, seed=seed * 17 + i
+                loop, up, self._make_deliver(i, "up"), queue_limit_bytes,
+                seed=seed * 17 + i, telemetry=telemetry, path_id=i, direction="up"
             )
             down_link = EmulatedLink(
-                loop, down, self._make_deliver(i, "down"), queue_limit_bytes, seed=seed * 31 + i + 7
+                loop, down, self._make_deliver(i, "down"), queue_limit_bytes,
+                seed=seed * 31 + i + 7, telemetry=telemetry, path_id=i, direction="down"
             )
             self.channels.append(PathChannel(i, up_link, down_link))
 

@@ -45,6 +45,13 @@ class LinkStats:
         total = self.delivered + self.dropped_loss
         return self.dropped_loss / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        d = asdict(self)
+        d["loss_rate"] = self.loss_rate
+        return d
+
 
 @dataclass
 class _Queued:
@@ -64,14 +71,24 @@ class EmulatedLink:
         queue_limit_bytes: int = DEFAULT_QUEUE_LIMIT_BYTES,
         seed: int = 0,
         loss_enabled: bool = True,
+        telemetry=None,
+        path_id: int = -1,
+        direction: str = "",
     ):
         if queue_limit_bytes <= 0:
             raise ValueError("queue_limit_bytes must be positive")
+        if telemetry is None:
+            from ..obs import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
         self.loop = loop
         self.trace = trace
         self.deliver = deliver
         self.queue_limit_bytes = queue_limit_bytes
         self.loss_enabled = loss_enabled
+        self.telemetry = telemetry
+        self.path_id = path_id
+        self.direction = direction
         self.stats = LinkStats()
         self._rng = random.Random(seed)
         self._queue: Deque[_Queued] = deque()
@@ -133,6 +150,11 @@ class EmulatedLink:
         if self._queue_bytes + size > self.queue_limit_bytes:
             self.stats.dropped_queue += 1
             self.stats.bytes_dropped += size
+            tel = self.telemetry
+            if tel.enabled:
+                tel.event(self.loop.now, "link_drop", path_id=self.path_id,
+                          dir=self.direction, reason="queue", size=size)
+                tel.count("link.%s.drop_queue" % (self.direction or "?"))
             return False
         self._queue.append(_Queued(payload, size, self.loop.now))
         self._queue_bytes += size
@@ -162,6 +184,11 @@ class EmulatedLink:
         if lost:
             self.stats.dropped_loss += 1
             self.stats.bytes_dropped += item.size
+            tel = self.telemetry
+            if tel.enabled:
+                tel.event(self.loop.now, "link_drop", path_id=self.path_id,
+                          dir=self.direction, reason="loss", size=item.size)
+                tel.count("link.%s.drop_loss" % (self.direction or "?"))
         else:
             self.stats.delivered += 1
             self.stats.bytes_delivered += item.size

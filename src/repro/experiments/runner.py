@@ -31,8 +31,9 @@ name             configuration
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..baselines.bonding import BondingTunnelClient, build_bonding_paths
 from ..baselines.pluribus import PluribusConfig, PluribusTunnelClient
@@ -53,11 +54,14 @@ from ..multipath.scheduler.ecf import EcfScheduler
 from ..multipath.scheduler.minrtt import MinRttScheduler
 from ..multipath.scheduler.redundant import RedundantScheduler
 from ..multipath.scheduler.xlink import XlinkScheduler
+from ..obs import Telemetry
 from ..quic.cc.bbr import BbrController
 from ..quic.cc.newreno import NewRenoController
 from ..video.qoe import QoeReport, _frame_status, analyze_qoe
 from ..video.receiver import VideoReceiver
 from ..video.source import VideoConfig, VideoSource
+
+logger = logging.getLogger(__name__)
 
 TRANSPORT_NAMES = (
     "cellfusion",
@@ -94,6 +98,8 @@ class StreamRunResult:
     frame_statuses: List[str] = field(default_factory=list)
     #: Per-frame fraction of packets that never arrived (1.0 = frame gone).
     frame_loss_fractions: List[float] = field(default_factory=list)
+    #: The run's :class:`~repro.obs.Telemetry` when enabled, else None.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -127,60 +133,70 @@ def make_transport(
     emulator: MultipathEmulator,
     receiver_sink: Callable[[int, bytes, float], None],
     xnc_config: Optional[XncConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[object, object]:
     """Instantiate (client, server) for a registry name."""
+    tel = telemetry
     if name in ("cellfusion", "xnc"):
         paths = build_paths(emulator, BbrController)
-        client = XncTunnelClient(loop, emulator, paths, xnc_config or XncConfig())
-        server = XncTunnelServer(loop, emulator, receiver_sink)
+        client = XncTunnelClient(loop, emulator, paths, xnc_config or XncConfig(),
+                                 telemetry=tel)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "xnc-no-rlnc":
         paths = build_paths(emulator, BbrController)
         cfg = xnc_config or XncConfig()
         cfg.coding_enabled = False
-        client = XncTunnelClient(loop, emulator, paths, cfg)
-        server = XncTunnelServer(loop, emulator, receiver_sink)
+        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "xnc-pto-only":
         paths = build_paths(emulator, BbrController)
         cfg = xnc_config or XncConfig()
         cfg.loss_policy = QoeLossPolicy(app_threshold=None)
-        client = XncTunnelClient(loop, emulator, paths, cfg)
-        server = XncTunnelServer(loop, emulator, receiver_sink)
+        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "mpquic":
         paths = build_paths(emulator, BbrController)
-        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
+                                      telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "mptcp":
         paths = build_paths(emulator, NewRenoController)
-        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
+                                      telemetry=tel)
         client.rto_min = 0.200  # kernel TCP RTO_min
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "bonding":
-        client = BondingTunnelClient(loop, emulator)
-        server = UnorderedTunnelServer(loop, emulator, receiver_sink)
+        client = BondingTunnelClient(loop, emulator, telemetry=tel)
+        server = UnorderedTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "minRTT":
         paths = build_paths(emulator, BbrController)
-        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler())
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
+                                      telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "RE":
         paths = build_paths(emulator, BbrController)
-        client = ReliableTunnelClient(loop, emulator, paths, RedundantScheduler())
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        client = ReliableTunnelClient(loop, emulator, paths, RedundantScheduler(),
+                                      telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "XLINK":
         paths = build_paths(emulator, BbrController)
-        client = ReliableTunnelClient(loop, emulator, paths, XlinkScheduler())
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        client = ReliableTunnelClient(loop, emulator, paths, XlinkScheduler(),
+                                      telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "ECF":
         paths = build_paths(emulator, BbrController)
-        client = ReliableTunnelClient(loop, emulator, paths, EcfScheduler())
-        server = InOrderTunnelServer(loop, emulator, receiver_sink)
+        client = ReliableTunnelClient(loop, emulator, paths, EcfScheduler(),
+                                      telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "pluribus":
         paths = build_paths(emulator, BbrController)
-        client = PluribusTunnelClient(loop, emulator, paths, PluribusConfig())
-        server = XncTunnelServer(loop, emulator, receiver_sink)
+        client = PluribusTunnelClient(loop, emulator, paths, PluribusConfig(),
+                                      telemetry=tel)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     elif name == "fec":
         paths = build_paths(emulator, BbrController)
-        client = FecTunnelClient(loop, emulator, paths, FecConfig())
-        server = XncTunnelServer(loop, emulator, receiver_sink)
+        client = FecTunnelClient(loop, emulator, paths, FecConfig(), telemetry=tel)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
     else:
         raise ValueError("unknown transport %r (choose from %s)" % (name, ", ".join(TRANSPORT_NAMES)))
     return client, server
@@ -194,19 +210,41 @@ def run_stream(
     seed: int = 0,
     xnc_config: Optional[XncConfig] = None,
     drain_time: float = 1.5,
+    telemetry: Union[bool, Telemetry] = False,
 ) -> StreamRunResult:
     """Run one streaming session end to end and analyse it.
 
     ``uplink_traces`` defaults to a fresh 2x5G + 2xLTE fleet for ``seed``.
     The loop runs ``duration`` seconds of streaming plus ``drain_time`` for
     stragglers, then QoE is computed over the emitted frames.
+
+    ``telemetry`` opts into the observability layer: pass ``True`` for a
+    fresh :class:`~repro.obs.Telemetry` (or a pre-configured instance) and
+    the result's ``telemetry`` field carries the lifecycle trace, metrics,
+    and per-path timelines of the run.  The default ``False`` threads the
+    shared no-op handle through, costing one branch per instrumented site.
     """
     loop = EventLoop()
+    tel: Optional[Telemetry]
+    if telemetry is True:
+        tel = Telemetry()
+    elif telemetry:
+        tel = telemetry
+    else:
+        tel = None
+    if tel is not None:
+        tel.bind_clock(loop)
     if uplink_traces is None:
         uplink_traces = generate_fleet_traces(duration=duration, seed=seed)
-    emulator = MultipathEmulator(loop, uplink_traces, seed=seed)
+    emulator = MultipathEmulator(loop, uplink_traces, seed=seed, telemetry=tel)
     receiver = VideoReceiver()
-    client, server = make_transport(transport, loop, emulator, receiver.on_app_packet, xnc_config)
+    client, server = make_transport(
+        transport, loop, emulator, receiver.on_app_packet, xnc_config, telemetry=tel
+    )
+    if tel is not None:
+        tel.start_sampling(loop, client.paths, emulator=emulator)
+    logger.debug("run_stream transport=%s duration=%.1fs seed=%d telemetry=%s",
+                 transport, duration, seed, tel is not None)
 
     video_cfg = video or VideoConfig()
     source = VideoSource(loop, lambda payload, frame_id: client.send_app_packet(payload, frame_id), video_cfg)
@@ -217,6 +255,17 @@ def run_stream(
     loop.run_until(duration + drain_time)
     client.close()
     server.close()
+    if tel is not None:
+        tel.stop_sampling()
+        for delay in receiver.packet_delays:
+            tel.observe("e2e.packet_delay", delay)
+        tel.record_stats("client", client.stats)
+        if hasattr(server, "decoder"):
+            tel.record_stats("decode", server.decoder.stats)
+        for pid, s in emulator.uplink_stats().items():
+            tel.record_stats("link.up.%d" % pid, s)
+        for pid, s in emulator.downlink_stats().items():
+            tel.record_stats("link.down.%d" % pid, s)
 
     frames = receiver.frame_records(total_frames=source.frames_emitted)
     qoe = analyze_qoe(frames, video_cfg.fps, duration=duration)
@@ -238,6 +287,7 @@ def run_stream(
         duration=duration,
         frame_statuses=statuses,
         frame_loss_fractions=frame_loss,
+        telemetry=tel,
     )
 
 

@@ -68,6 +68,11 @@ class PathState:
         self.cc.on_loss(size, now)
         self.packets_lost += 1
 
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets declared lost so far (timeline metric)."""
+        return self.packets_lost / self.packets_sent if self.packets_sent else 0.0
+
     def potentially_failed(self, now: float) -> bool:
         """Heuristic liveness: no ACK for several PTOs while data was sent."""
         if self.packets_sent == 0:

@@ -1,0 +1,61 @@
+"""Unified observability layer: metrics, packet-lifecycle trace, timelines.
+
+The one import site for instrumentation: endpoints take a
+:class:`Telemetry` handle (defaulting to the no-op :data:`NULL_TELEMETRY`)
+and emit lifecycle events, metrics, and per-path samples through it.  See
+``docs/telemetry.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .timeline import DEFAULT_SAMPLE_INTERVAL, PathSample, PathTimelineSampler, sample_path
+from .trace import (
+    ACK,
+    APP_IN,
+    CC_LOSS,
+    DECODED,
+    EVENT_KINDS,
+    EXPIRED,
+    INGRESS_DROP,
+    LINK_DROP,
+    QOE_LOSS,
+    RANGE_FORMED,
+    RECOVERY_TX,
+    SCHEDULED,
+    TX,
+    TraceBuffer,
+    TraceEvent,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceBuffer",
+    "TraceEvent",
+    "PathSample",
+    "PathTimelineSampler",
+    "sample_path",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "EVENT_KINDS",
+    "APP_IN",
+    "INGRESS_DROP",
+    "SCHEDULED",
+    "TX",
+    "ACK",
+    "QOE_LOSS",
+    "CC_LOSS",
+    "RANGE_FORMED",
+    "RECOVERY_TX",
+    "DECODED",
+    "EXPIRED",
+    "LINK_DROP",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -29,6 +29,9 @@ from ..emulation.events import EventLoop
 #: XNC's coefficient-generator family tag (both ends must match).
 XNC_PRNG_MINSTD = "minstd-gf256"
 
+#: Minimum idle-timer re-arm interval (RFC 9002's kGranularity, 1 ms).
+IDLE_TIMER_GRANULARITY = 0.001
+
 _cid_counter = itertools.count(0x1000)
 
 
@@ -218,7 +221,12 @@ class QuicConnection:
             self.close()
             return
         remaining = self.negotiated.idle_timeout - (self.loop.now - self.last_activity)
-        self._idle_handle = self.loop.call_later(remaining, self._idle_check)
+        # floor the re-arm at the timer granularity: a sub-ulp ``remaining``
+        # (idle_timeout - elapsed rounding to ~1e-16) would re-fire at the
+        # same float timestamp forever and wedge the event loop
+        self._idle_handle = self.loop.call_later(
+            max(remaining, IDLE_TIMER_GRANULARITY), self._idle_check
+        )
 
     def close(self) -> None:
         self.state = self.CLOSED

@@ -21,7 +21,7 @@ packet is deemed lost — live in the subclasses.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.frames import XncNcFrame
@@ -29,6 +29,8 @@ from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop, PeriodicTimer
 from ..multipath.path import PathManager, PathState
 from ..multipath.scheduler.base import Scheduler
+from ..obs import NULL_TELEMETRY
+from ..obs import trace as ev
 from ..quic.ack import AckRangeTracker
 from ..quic.packet import AckFrame, QuicPacket
 
@@ -101,6 +103,11 @@ class ClientStats:
         extra = self.retx_bytes + self.recovery_bytes + self.duplicate_bytes
         return extra / self.first_tx_bytes if self.first_tx_bytes else 0.0
 
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["redundancy_ratio"] = self.redundancy_ratio
+        return d
+
 
 class TunnelClientBase:
     """Common client: queueing, scheduling, ACK processing, cc loss."""
@@ -114,11 +121,13 @@ class TunnelClientBase:
         tick: float = CLIENT_TICK,
         ingress_limit: int = INGRESS_QUEUE_LIMIT,
         connection_id: int = 0,
+        telemetry=None,
     ):
         self.loop = loop
         self.emulator = emulator
         self.paths = paths
         self.scheduler = scheduler
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.ingress_limit = ingress_limit
         #: Distinguishes this connection's packets when several tunnels
         #: share the same links (e.g. the bidirectional tunnel).
@@ -146,12 +155,20 @@ class TunnelClientBase:
         or None when the ingress (tun) queue tail-dropped it."""
         self.stats.app_packets_in += 1
         self.stats.app_bytes_in += len(payload)
+        tel = self.telemetry
         if len(self._queue) >= self.ingress_limit:
             self.stats.ingress_dropped += 1
+            if tel.enabled:
+                tel.event(self.loop.now, ev.INGRESS_DROP, self._next_app_id)
+                tel.count("client.ingress_dropped")
             return None
         pkt = AppPacket(self._next_app_id, bytes(payload), frame_id, self.loop.now)
         self._next_app_id += 1
         self._queue.append(pkt)
+        if tel.enabled:
+            tel.event(self.loop.now, ev.APP_IN, pkt.packet_id,
+                      size=pkt.size, frame=frame_id)
+            tel.count("client.app_in")
         self._on_app_packet_queued(pkt)
         self._pump()
         return pkt.packet_id
@@ -197,11 +214,16 @@ class TunnelClientBase:
         if self.closed:
             return
         guard = 0
+        tel = self.telemetry
         while self._queue:
             pkt = self._queue[0]
             if self._queue_entry_stale(pkt, self.loop.now):
                 self._queue.popleft()
                 self.stats.expired_packets += 1
+                if tel.enabled:
+                    tel.event(self.loop.now, ev.EXPIRED, pkt.packet_id,
+                              where="ingress_queue")
+                    tel.count("client.expired")
                 self._on_queue_entry_dropped(pkt)
                 continue
             frame = self._build_frame(pkt)
@@ -212,6 +234,13 @@ class TunnelClientBase:
             if not targets:
                 return
             self._queue.popleft()
+            if tel.enabled:
+                tel.event(self.loop.now, ev.SCHEDULED, pkt.packet_id,
+                          targets[0].path_id, fanout=len(targets),
+                          queue_wait=self.loop.now - pkt.enqueue_time)
+                for t in targets:
+                    tel.count("scheduler.selected.path%d" % t.path_id)
+                tel.observe("client.queue_wait", self.loop.now - pkt.enqueue_time)
             for i, path in enumerate(targets):
                 is_dup = i > 0
                 self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)
@@ -254,6 +283,17 @@ class TunnelClientBase:
         else:
             self.stats.first_tx_packets += 1
             self.stats.first_tx_bytes += size
+        tel = self.telemetry
+        if tel.enabled:
+            kind = ev.RECOVERY_TX if is_recovery else ev.TX
+            attrs = {"pn": pn, "size": size, "count": len(app_ids)}
+            if is_dup:
+                attrs["dup"] = True
+            if is_retx:
+                attrs["retx"] = True
+            tel.event(self.loop.now, kind, app_ids[0] if app_ids else -1,
+                      path.path_id, **attrs)
+            tel.count("client.%s" % kind)
         self.emulator.send_uplink(path.path_id, qpkt, size)
         return info
 
@@ -301,7 +341,14 @@ class TunnelClientBase:
             path.cc.on_ack(info.size, max(1e-4, now - info.sent_time), now)
             path.packets_acked += 1
             path.last_ack_time = now
+        tel = self.telemetry
         for info in newly_acked:
+            if tel.enabled:
+                tel.event(now, ev.ACK,
+                          info.app_ids[0] if info.app_ids else -1,
+                          info.path_id, pn=info.packet_number,
+                          count=len(info.app_ids))
+                tel.observe("client.ack_rtt", now - info.sent_time)
             if info.app_ids and not info.cc_lost:
                 self._on_app_acked(info.app_ids, info)
         # packet-threshold loss: unacked packets well below largest acked
@@ -334,6 +381,13 @@ class TunnelClientBase:
                 continue
             info.cc_lost = True
             path.on_lost(info.size, now)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.event(now, ev.CC_LOSS,
+                          info.app_ids[0] if info.app_ids else -1,
+                          path_id, pn=pn, overdue=overdue,
+                          count=len(info.app_ids))
+                tel.count("client.cc_loss")
             if not info.is_recovery:
                 self._on_cc_lost(info, now)
 
@@ -383,9 +437,11 @@ class TunnelServerBase:
         ack_every: int = 2,
         max_ack_delay: float = MAX_ACK_DELAY,
         connection_id: int = 0,
+        telemetry=None,
     ):
         self.loop = loop
         self.emulator = emulator
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.on_app_packet = on_app_packet
         self.connection_id = connection_id
         self.ack_every = ack_every

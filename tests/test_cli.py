@@ -48,6 +48,7 @@ class TestCommands:
         from repro.emulation.trace import load_mahimahi
         assert load_mahimahi(out_path).opportunities.size > 0
 
+    @pytest.mark.slow  # seven simulated deployment days
     def test_figure_fig10b(self, capsys):
         assert main(["figure", "fig10b", "--duration", "3"]) == 0
         out = capsys.readouterr().out

@@ -142,6 +142,19 @@ class TestIdleTimeout:
         loop.run_until(loop.now + 2.0)
         assert client.state == QuicConnection.CLOSED
 
+    def test_idle_check_at_float_boundary_terminates(self):
+        # Regression: when elapsed time lands within one ulp of the idle
+        # timeout, the naive re-arm delay (~1e-16 s) re-fires at the same
+        # float timestamp forever.  The granularity floor must break the
+        # spin and let the connection close.
+        loop = EventLoop()
+        params = TransportParameters(idle_timeout=1.0)
+        client, _server = establish_tunnel_connection(loop, client_params=params)
+        client.last_activity = loop.now - (params.idle_timeout - 1e-16)
+        loop.call_later(0.0, client._idle_check)
+        loop.run_until(loop.now + 2.0)
+        assert client.state == QuicConnection.CLOSED
+
     def test_activity_keeps_alive(self):
         loop = EventLoop()
         params = TransportParameters(idle_timeout=1.0)

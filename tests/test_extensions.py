@@ -102,6 +102,7 @@ class TestSatelliteFusion:
         assert names == ["LTE-rural", "LEO-sat"]
         assert traces[1].base_delay == pytest.approx(0.045)
 
+    @pytest.mark.slow  # three 12 s streams over rural traces
     def test_fusion_beats_each_rural_link_alone(self):
         """The §10 thesis: NC multipath helps where coverage is sparse."""
         duration = 12.0

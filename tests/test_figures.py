@@ -17,6 +17,7 @@ SHORT = 6.0
 SEEDS = (0, 1)
 
 
+@pytest.mark.slow  # four multi-second single-link streams
 class TestFig3:
     def test_all_four_configurations(self):
         out = fig3_single_link(duration=SHORT, seed=0)
@@ -71,6 +72,7 @@ class TestCompare:
         assert -200.0 <= red <= 100.0
 
 
+@pytest.mark.slow  # three transports x full delay CDF
 class TestFig10:
     def test_delay_cdf_structure(self):
         res = fig10a_delay_cdf(duration=SHORT, seeds=(0,))

@@ -26,6 +26,7 @@ def _first_harsh_seed():
     return 0
 
 
+@pytest.mark.slow  # each claim streams several full sessions
 class TestSystemClaims:
     def test_multipath_beats_single_link(self):
         """Fusing four links must beat riding one (the core premise)."""

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Verify that disabled telemetry stays within its overhead budget.
+
+The observability layer promises a near-zero cost when disabled: every
+instrumented call site guards with ``if tel.enabled:`` against the shared
+``NULL_TELEMETRY`` singleton, so the disabled cost per site is one
+attribute load plus one branch.  This script turns that promise into a
+regression check:
+
+1. **Micro-benchmark** the guard: time a tight loop over the disabled
+   fast path (``if NULL_TELEMETRY.enabled: ...``) against the same loop
+   with no telemetry statement at all, yielding ns/site.
+2. **Count call-site activations** for a representative streaming run by
+   running it once with telemetry enabled: every trace event and every
+   metric update corresponds to one guarded site that fired.  (Event
+   sites usually also bump a counter, so counting both overestimates —
+   the bound is conservative.)
+3. **Bound the disabled overhead**: activations x guard cost, as a
+   fraction of the measured telemetry-off wall time.  Fail if the bound
+   exceeds the threshold (default 5 %, ``--threshold`` or
+   ``REPRO_TELEMETRY_OVERHEAD_PCT``).
+
+The enabled-mode cost is also measured and reported — it is expected to
+be substantial (it records every packet's lifecycle) and is informational
+only.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_telemetry_overhead.py
+    PYTHONPATH=src python tools/check_telemetry_overhead.py --duration 6 --runs 5
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.runner import run_stream
+from repro.obs import NULL_TELEMETRY
+
+DEFAULT_THRESHOLD_PCT = float(os.environ.get("REPRO_TELEMETRY_OVERHEAD_PCT", "5.0"))
+
+
+def measure_guard_ns(iterations: int = 2_000_000) -> float:
+    """Per-call cost of the disabled-telemetry guard, in nanoseconds."""
+    tel = NULL_TELEMETRY
+
+    def guarded(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            if tel.enabled:
+                tel.count("x")
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    guarded(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    guarded(iterations)
+    with_guard = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def best_wall_time(telemetry: bool, duration: float, seed: int, runs: int) -> float:
+    """Best-of-N wall time of one streaming run (min filters scheduler noise)."""
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        run_stream("cellfusion", duration=duration, seed=seed, telemetry=telemetry)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def count_activations(duration: float, seed: int) -> int:
+    """How many guarded call sites fire during one run (telemetry on)."""
+    result = run_stream("cellfusion", duration=duration, seed=seed, telemetry=True)
+    tel = result.telemetry
+    hits = tel.trace.emitted
+    for metric in tel.metrics.snapshot():
+        # counters report their sum; histograms their sample count; each
+        # gauge set is at least one hit per recorded update
+        hits += int(metric.get("count", metric.get("value", 1)) or 1)
+    for samples in tel.timelines.values():
+        hits += len(samples)
+    return hits
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of simulated streaming per run")
+    parser.add_argument("--seed", type=int, default=1, help="trace seed")
+    parser.add_argument("--runs", type=int, default=3, help="best-of-N runs")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                        help="max disabled overhead in percent")
+    args = parser.parse_args(argv)
+
+    guard_ns = measure_guard_ns()
+    print("disabled guard cost: %.0f ns/site" % guard_ns)
+
+    activations = count_activations(args.duration, args.seed)
+    print("guarded call sites fired per %.0fs run: %d" % (args.duration, activations))
+
+    off = best_wall_time(False, args.duration, args.seed, args.runs)
+    on = best_wall_time(True, args.duration, args.seed, args.runs)
+    print("wall time: telemetry off %.3fs, on %.3fs (+%.1f%%, informational)"
+          % (off, on, (on - off) / off * 100.0))
+
+    bound_s = activations * guard_ns * 1e-9
+    bound_pct = bound_s / off * 100.0
+    print("disabled overhead bound: %d sites x %.0f ns = %.1f ms = %.2f%% of %.3fs"
+          % (activations, guard_ns, bound_s * 1000.0, bound_pct, off))
+
+    if bound_pct > args.threshold:
+        print("FAIL: disabled telemetry overhead bound %.2f%% exceeds %.1f%%"
+              % (bound_pct, args.threshold))
+        return 1
+    print("OK: disabled telemetry overhead bound %.2f%% <= %.1f%%"
+          % (bound_pct, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
