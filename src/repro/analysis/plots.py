@@ -11,6 +11,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+__all__ = [
+    "DEFAULT_WIDTH",
+    "DEFAULT_HEIGHT",
+    "ascii_series",
+    "ascii_cdf",
+    "ascii_bars",
+    "frame_strip",
+]
+
 DEFAULT_WIDTH = 64
 DEFAULT_HEIGHT = 12
 _MARKS = "*o+x#@%&"

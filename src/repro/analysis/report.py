@@ -8,6 +8,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+__all__ = [
+    "format_table",
+    "format_qoe_rows",
+    "format_percentiles",
+]
+
 
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None

@@ -11,6 +11,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+__all__ = [
+    "percentile",
+    "tail_percentiles",
+    "cdf",
+    "delays_from_telemetry",
+    "reduction_pct",
+    "SeriesSummary",
+    "per_second_bins",
+    "loss_rate_per_second",
+]
+
 
 def percentile(values: Sequence[float], p: float) -> float:
     """The p-th percentile (0..100) with linear interpolation."""

@@ -24,6 +24,12 @@ from ..multipath.scheduler.bonding import BondingScheduler, FiveTuple
 from ..quic.cc.base import CongestionController
 from ..transport.base import AppPacket, SentInfo, TunnelClientBase
 
+__all__ = [
+    "UnlimitedController",
+    "build_bonding_paths",
+    "BondingTunnelClient",
+]
+
 
 class UnlimitedController(CongestionController):
     """No congestion control: the window never binds (plain UDP)."""
@@ -58,10 +64,11 @@ class BondingTunnelClient(TunnelClientBase):
         paths: Optional[PathManager] = None,
         five_tuple: Optional[FiveTuple] = None,
         telemetry=None,
+        sanitizer=None,
     ):
         paths = paths or build_bonding_paths(emulator)
         super().__init__(loop, emulator, paths, BondingScheduler(five_tuple),
-                         telemetry=telemetry)
+                         telemetry=telemetry, sanitizer=sanitizer)
 
     def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
         return XncNcFrame.original(pkt.packet_id, frame_payload(pkt.payload))

@@ -24,18 +24,23 @@ repairs) is unrecoverable — there is no reactive path.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.frames import XncNcFrame
 from ..core.rlnc import RlncEncoder
+from ..determinism import seeded_rng
 from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop
 from ..multipath.path import PathManager
 from ..multipath.scheduler.base import Scheduler
 from ..multipath.scheduler.roundrobin import RoundRobinScheduler
 from ..transport.base import AppPacket, SentInfo, TunnelClientBase
+
+__all__ = [
+    "PluribusConfig",
+    "PluribusTunnelClient",
+]
 
 
 @dataclass
@@ -62,6 +67,12 @@ class PluribusConfig:
 class PluribusTunnelClient(TunnelClientBase):
     """Proactive block-coded multipath sender."""
 
+    #: Repairs are pushed on every usable path when a block closes,
+    #: deliberately ignoring spare congestion window (Pluribus trades
+    #: window discipline for burst protection) — opt out of the
+    #: sanitizer's inflight<=cwnd invariant.
+    sanitize_window_discipline = False
+
     def __init__(
         self,
         loop: EventLoop,
@@ -70,12 +81,13 @@ class PluribusTunnelClient(TunnelClientBase):
         config: Optional[PluribusConfig] = None,
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
+        sanitizer=None,
     ):
         super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
-                         telemetry=telemetry)
+                         telemetry=telemetry, sanitizer=sanitizer)
         self.config = config or PluribusConfig()
         self.encoder = RlncEncoder(simd=True)
-        self._rng = random.Random(self.config.seed)
+        self._rng = seeded_rng(self.config.seed)
         self._block_start: Optional[int] = None
         self._block_count = 0
         self._block_opened_at = 0.0

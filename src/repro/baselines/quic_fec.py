@@ -17,18 +17,23 @@ feed-forward protection, spread round-robin over the paths.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Optional
 
 from ..core.frames import XncNcFrame
 from ..core.rlnc import RlncEncoder
+from ..determinism import seeded_rng
 from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop
 from ..multipath.path import PathManager
 from ..multipath.scheduler.base import Scheduler
 from ..multipath.scheduler.roundrobin import RoundRobinScheduler
 from ..transport.base import AppPacket, TunnelClientBase
+
+__all__ = [
+    "FecConfig",
+    "FecTunnelClient",
+]
 
 
 @dataclass
@@ -55,6 +60,11 @@ class FecConfig:
 class FecTunnelClient(TunnelClientBase):
     """Systematic fixed-rate FEC sender (no feedback loop at all)."""
 
+    #: Feed-forward repairs ride whatever path is usable regardless of
+    #: spare window (the whole point of fixed-rate FEC) — opt out of the
+    #: sanitizer's inflight<=cwnd invariant.
+    sanitize_window_discipline = False
+
     def __init__(
         self,
         loop: EventLoop,
@@ -63,12 +73,13 @@ class FecTunnelClient(TunnelClientBase):
         config: Optional[FecConfig] = None,
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
+        sanitizer=None,
     ):
         super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
-                         telemetry=telemetry)
+                         telemetry=telemetry, sanitizer=sanitizer)
         self.config = config or FecConfig()
         self.encoder = RlncEncoder(simd=True)
-        self._rng = random.Random(self.config.seed)
+        self._rng = seeded_rng(self.config.seed)
         self._block_start: Optional[int] = None
         self._block_count = 0
         self._block_timer = None

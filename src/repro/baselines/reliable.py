@@ -26,6 +26,12 @@ from ..multipath.path import PathManager
 from ..multipath.scheduler.base import Scheduler
 from ..transport.base import AppPacket, SentInfo, TunnelClientBase, TunnelServerBase
 
+__all__ = [
+    "ReliableTunnelClient",
+    "InOrderTunnelServer",
+    "UnorderedTunnelServer",
+]
+
 
 class ReliableTunnelClient(TunnelClientBase):
     """Retransmit-until-acked multipath sender."""
@@ -37,8 +43,10 @@ class ReliableTunnelClient(TunnelClientBase):
         paths: PathManager,
         scheduler: Scheduler,
         telemetry=None,
+        sanitizer=None,
     ):
-        super().__init__(loop, emulator, paths, scheduler, telemetry=telemetry)
+        super().__init__(loop, emulator, paths, scheduler, telemetry=telemetry,
+                         sanitizer=sanitizer)
         self._payloads: Dict[int, AppPacket] = {}
         self._delivered: Set[int] = set()
         self._retx: Deque[int] = deque()
@@ -105,8 +113,10 @@ class InOrderTunnelServer(TunnelServerBase):
         emulator: MultipathEmulator,
         on_app_packet: Callable[[int, bytes, float], None],
         telemetry=None,
+        sanitizer=None,
     ):
-        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry)
+        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry,
+                         sanitizer=sanitizer)
         self._buffer: Dict[int, bytes] = {}
         self._expected = 0
         self.max_buffered = 0
@@ -140,8 +150,10 @@ class UnorderedTunnelServer(TunnelServerBase):
         emulator: MultipathEmulator,
         on_app_packet: Callable[[int, bytes, float], None],
         telemetry=None,
+        sanitizer=None,
     ):
-        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry)
+        super().__init__(loop, emulator, on_app_packet, telemetry=telemetry,
+                         sanitizer=sanitizer)
         self._seen: Set[int] = set()
 
     def _handle_frame(self, path_id: int, frame: XncNcFrame, now: float) -> None:

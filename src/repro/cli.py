@@ -8,7 +8,15 @@ Commands:
   the comparison table (the Fig. 9/11 harness, parameterised);
 * ``figure`` — regenerate one paper figure's rows (fig3, fig8, fig9,
   fig10a, fig10b, fig11, fig12, fig13a, fig13b);
-* ``trace`` — synthesise a cellular drive trace and export it.
+* ``trace`` — synthesise a cellular drive trace and export it;
+* ``lint`` — run the repo's static protocol/determinism linter
+  (``tools/lint``) over the source tree.
+
+``run --sanitize`` arms the runtime protocol sanitizer for the session —
+every transmit, ACK, range build, recovery plan and decode completion is
+checked against the paper's invariants, and the first breach raises
+(see docs/static-analysis.md).  ``REPRO_SANITIZE=1`` does the same for
+any entry point without touching flags.
 
 ``run --telemetry`` turns on the observability layer for the session and
 prints the run summary (event counts, histogram tails, per-path
@@ -31,6 +39,12 @@ from .emulation.trace import save_json, save_mahimahi
 from .experiments import figures
 from .experiments.runner import TRANSPORT_NAMES, run_stream
 from .video.source import VideoConfig
+
+__all__ = [
+    "configure_logging",
+    "build_parser",
+    "main",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -62,6 +76,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         video=VideoConfig(bitrate_mbps=args.bitrate, seed=args.seed + 1),
         telemetry=telemetry,
+        sanitize=True if args.sanitize else None,
     )
     print(format_qoe_rows({args.transport: result}))
     if result.packet_delays:
@@ -75,7 +90,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.telemetry_out:
             n = result.telemetry.export_jsonl(args.telemetry_out)
             print("wrote %d telemetry records to %s" % (n, args.telemetry_out))
+    if args.sanitize:
+        from .sanitizer import totals
+
+        t = totals()
+        print("sanitizer: %d checks, %d violations" % (t["checks"], t["violations"]))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # tools/ is a sibling of src/ at the repo root, deliberately outside
+    # the package so the linter stays importable without repro installed
+    import tools.lint as lint
+
+    forwarded = list(args.lint_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return lint.main(forwarded)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -175,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record and print packet-lifecycle telemetry")
     p_run.add_argument("--telemetry-out", metavar="FILE",
                        help="export telemetry as JSONL (implies --telemetry)")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime protocol sanitizer (fail fast "
+                            "on any invariant breach)")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare transports on the same traces")
@@ -195,10 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--out", help="output path (.json keeps loss/delay; else mahimahi)")
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_lint = sub.add_parser("lint", help="run the repo protocol/determinism linter")
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to tools.lint (e.g. --json, "
+                             "--rule no-wall-clock, paths)")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # forward everything after "lint" verbatim — argparse REMAINDER
+        # refuses to capture leading option strings like --json
+        configure_logging("warning")
+        import tools.lint as lint
+
+        return lint.main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.log_level)

@@ -17,6 +17,12 @@ from typing import Dict, List, Optional
 
 from .pop import PopNode
 
+__all__ = [
+    "AutoscalerPolicy",
+    "ScalingDecision",
+    "ProxyAutoscaler",
+]
+
 
 @dataclass
 class AutoscalerPolicy:

@@ -18,6 +18,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .nat import TunAddressPool
 from .pop import PopNode
 
+__all__ = [
+    "HEARTBEAT_TIMEOUT",
+    "AuthError",
+    "TunnelConfig",
+    "DeviceRecord",
+    "Controller",
+]
+
 #: A proxy missing heartbeats for this long is considered down.
 HEARTBEAT_TIMEOUT = 10.0
 

@@ -24,6 +24,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .controller import Controller
 from .pop import PopNode
 
+__all__ = [
+    "DEFAULT_IMPROVEMENT",
+    "DEFAULT_HOLD",
+    "SWITCHOVER_GAP",
+    "MigrationEvent",
+    "MigrationManager",
+    "drive_with_migration",
+]
+
 #: Default hysteresis: the candidate must be 1.5 ms closer for 5 s.  At
 #: ~5 us of fibre delay per km, 1.5 ms corresponds to moving ~300 km
 #: closer to another PoP — a genuine region change, not jitter.

@@ -14,6 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+__all__ = [
+    "FlowKey",
+    "NatError",
+    "SnatTable",
+    "TunAddressPool",
+]
+
 FlowKey = Tuple[int, str, int]  # (proto, ip, port)
 
 

@@ -11,6 +11,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+__all__ = [
+    "FIBRE_DELAY_PER_KM",
+    "LAST_MILE_DELAY",
+    "PopNode",
+    "default_pop_grid",
+]
+
 #: Rough propagation constant: one-way delay grows ~5 us per km of fibre
 #: plus a fixed last-mile constant.
 FIBRE_DELAY_PER_KM = 5e-6

@@ -19,6 +19,11 @@ from ..netstack.ip import IpError, Ipv4Packet, PROTO_UDP, UDP_HEADER, UDP_HEADER
 from .nat import NatError, SnatTable
 from .pop import PopNode
 
+__all__ = [
+    "ProxyStats",
+    "ProxyServer",
+]
+
 
 @dataclass
 class ProxyStats:

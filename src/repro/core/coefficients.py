@@ -16,6 +16,11 @@ implements exactly that convention: index 0 is always 1.
 
 from __future__ import annotations
 
+__all__ = [
+    "CoefficientGenerator",
+    "coefficient_vector",
+]
+
 #: Multiplier/modulus of a Lehmer (MINSTD) generator.  Any PRNG works as
 #: long as both ends agree; MINSTD is trivially portable across languages,
 #: matching the paper's portability goal for the C implementation.

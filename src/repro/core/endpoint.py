@@ -22,11 +22,11 @@ IP packets; order is the application's business).
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
+from ..determinism import seeded_rng
 from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop
 from ..multipath.path import PathManager
@@ -39,6 +39,12 @@ from .loss_detection import QoeLossPolicy
 from .ranges import EncodeRange, LostPacket, RangePolicy, RetransmissionQueue
 from .recovery import PathBudget, RecoveryPolicy, plan_recovery, recovery_seeds
 from .rlnc import RlncDecoder, RlncEncoder
+
+__all__ = [
+    "XncConfig",
+    "XncTunnelClient",
+    "XncTunnelServer",
+]
 
 
 @dataclass
@@ -86,13 +92,15 @@ class XncTunnelClient(TunnelClientBase):
         config: Optional[XncConfig] = None,
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
+        sanitizer=None,
     ):
         super().__init__(loop, emulator, paths, scheduler or MinRttScheduler(),
-                         telemetry=telemetry)
+                         telemetry=telemetry, sanitizer=sanitizer)
         self.config = config or XncConfig()
         self.encoder = RlncEncoder(simd=self.config.simd)
-        self.retrans_queue = RetransmissionQueue(self.config.range_policy)
-        self._seed_rng = random.Random(self.config.seed)
+        self.retrans_queue = RetransmissionQueue(self.config.range_policy,
+                                                 sanitizer=self.sanitizer)
+        self._seed_rng = seeded_rng(self.config.seed)
         self._app_meta: Dict[int, _AppMeta] = {}
         self._pool_order: Deque[Tuple[int, float]] = deque()
         self.recoveries_executed = 0
@@ -215,6 +223,12 @@ class XncTunnelClient(TunnelClientBase):
 
     def _execute_plan(self, rng: EncodeRange, plan) -> None:
         self.recoveries_executed += 1
+        san = self.sanitizer
+        if san.enabled:
+            # §4.5 budget + lifecycle invariants before any packet leaves
+            san.check_plan(rng.count, plan, self.config.recovery_policy)
+            san.check_range_recovery(rng, self.loop.now,
+                                     self.config.range_policy.t_expire)
         tel = self.telemetry
         if tel.enabled:
             tel.event(self.loop.now, ev.RANGE_FORMED, rng.start_id,
@@ -286,10 +300,11 @@ class XncTunnelServer(TunnelServerBase):
         on_app_packet: Callable[[int, bytes, float], None],
         connection_id: int = 0,
         telemetry=None,
+        sanitizer=None,
     ):
         super().__init__(loop, emulator, on_app_packet, connection_id=connection_id,
-                         telemetry=telemetry)
-        self.decoder = RlncDecoder()
+                         telemetry=telemetry, sanitizer=sanitizer)
+        self.decoder = RlncDecoder(sanitizer=self.sanitizer)
         self._range_first_seen: Dict[Tuple[int, int], float] = {}
         self._gc_counter = 0
 

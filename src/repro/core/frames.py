@@ -18,6 +18,19 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+__all__ = [
+    "FRAME_DATAGRAM",
+    "FRAME_DATAGRAM_LEN",
+    "FRAME_XNC_NC",
+    "XNC_HEADER",
+    "XNC_HEADER_SIZE",
+    "FrameError",
+    "XncHeader",
+    "XncNcFrame",
+    "encode_datagram_frame",
+    "decode_datagram_frame",
+]
+
 #: QUIC-Datagram frame types (RFC 9221).
 FRAME_DATAGRAM = 0x30
 FRAME_DATAGRAM_LEN = 0x31

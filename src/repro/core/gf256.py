@@ -18,6 +18,23 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "GF_POLY",
+    "GF_GENERATOR",
+    "GF_ORDER",
+    "gf_add",
+    "gf_mul",
+    "gf_inv",
+    "gf_div",
+    "gf_pow",
+    "gf_mul_vec",
+    "gf_addmul_vec",
+    "gf_mul_scalar_buffer",
+    "gf_addmul_scalar_buffer",
+    "gf_matrix_rank",
+    "gf_solve",
+]
+
 #: Irreducible polynomial for GF(2^8) (AES polynomial).
 GF_POLY = 0x11B
 #: Multiplicative generator of GF(2^8)* under GF_POLY.

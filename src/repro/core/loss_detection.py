@@ -14,6 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+__all__ = [
+    "DEFAULT_TIMER_GRANULARITY",
+    "DEFAULT_INITIAL_RTT",
+    "pto_interval",
+    "QoeLossPolicy",
+    "SentPacketRecord",
+    "LossDetector",
+]
+
 #: RFC 9002 constants used by the PTO computation.
 DEFAULT_TIMER_GRANULARITY = 0.001
 DEFAULT_INITIAL_RTT = 0.333

@@ -23,6 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
+__all__ = [
+    "DEFAULT_MAX_RANGE_PACKETS",
+    "DEFAULT_MAX_RANGE_SPAN",
+    "DEFAULT_EXPIRY",
+    "LostPacket",
+    "EncodeRange",
+    "RangePolicy",
+    "build_ranges",
+    "drop_expired",
+    "RetransmissionQueue",
+]
+
 #: Deployed parameter values for a 30 Mbps session (§4.4.2, §4.4.3).
 DEFAULT_MAX_RANGE_PACKETS = 10
 DEFAULT_MAX_RANGE_SPAN = 0.060
@@ -150,10 +162,17 @@ class RetransmissionQueue:
     Thin stateful wrapper over :func:`build_ranges` used by the XNC sender:
     losses are added as they are detected, ranges are drained atomically at
     recovery time, and anything past ``t_expire`` is aged out.
+
+    ``sanitizer`` (see :mod:`repro.sanitizer`) cross-checks the §4.4.2
+    border rules on every ranges() build and the §4.4.3 completeness of
+    expire(); it defaults to the disabled singleton.
     """
 
-    def __init__(self, policy: Optional[RangePolicy] = None):
+    def __init__(self, policy: Optional[RangePolicy] = None, sanitizer=None):
+        from ..sanitizer import NULL_SANITIZER
+
         self.policy = policy or RangePolicy()
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
         self._lost: dict[int, LostPacket] = {}
         self.expired_packets = 0
 
@@ -180,13 +199,19 @@ class RetransmissionQueue:
         for p in stale:
             del self._lost[p.packet_id]
         self.expired_packets += len(stale)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_queue_post_expire(
+                self._lost.values(), now, self.policy.t_expire)
         return stale
 
     def ranges(self, now: Optional[float] = None) -> List[EncodeRange]:
         """Current encode ranges (after expiring stale entries if ``now``)."""
         if now is not None:
             self.expire(now)
-        return build_ranges(list(self._lost.values()), self.policy)
+        out = build_ranges(list(self._lost.values()), self.policy)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_ranges(out, self.policy)
+        return out
 
     def pop_range(self, rng: EncodeRange) -> List[LostPacket]:
         """Remove and return a range's packets (XNC forgets them, §4.5.2)."""

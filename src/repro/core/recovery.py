@@ -21,6 +21,19 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+__all__ = [
+    "DEFAULT_EXTRA_PACKETS",
+    "DEFAULT_RHO",
+    "coded_packet_count",
+    "decode_probability_bound",
+    "PathBudget",
+    "PathAllocation",
+    "RecoveryPlan",
+    "RecoveryPolicy",
+    "plan_recovery",
+    "recovery_seeds",
+]
+
 #: Paper's deployed extra-packet count (k in Theorem 4.1).
 DEFAULT_EXTRA_PACKETS = 3
 #: Paper's per-path spread factor bound: 1 < rho < 1.2.

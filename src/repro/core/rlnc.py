@@ -33,6 +33,19 @@ import numpy as np
 from .coefficients import coefficient_vector
 from .gf256 import gf_addmul_scalar_buffer, gf_addmul_vec, gf_inv, gf_mul_vec
 
+__all__ = [
+    "LENGTH_PREFIX_SIZE",
+    "MAX_RANGE_PACKETS",
+    "RlncError",
+    "UnknownPacketError",
+    "frame_payload",
+    "unframe_payload",
+    "PooledPacket",
+    "RlncEncoder",
+    "DecodeStats",
+    "RlncDecoder",
+]
+
 #: Bytes prepended to every packet to make padding reversible.
 LENGTH_PREFIX_SIZE = 2
 #: Upper bound on packets in one coded range; ranges are kept small by the
@@ -275,12 +288,16 @@ class RlncDecoder:
     #: and reordered XNC recoveries both need this).
     RECENT_RETENTION = 4096
 
-    def __init__(self, on_packet: Optional[Callable[[int, bytes], None]] = None):
+    def __init__(self, on_packet: Optional[Callable[[int, bytes], None]] = None,
+                 sanitizer=None):
+        from ..sanitizer import NULL_SANITIZER
+
         self._ranges: Dict[Tuple[int, int], _RangeDecoder] = {}
         self._delivered: Dict[int, bool] = {}
         self._recent: Dict[int, bytes] = {}
         self._recent_order: Deque[int] = deque()
         self._on_packet = on_packet
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
         self.stats = DecodeStats()
 
     def is_delivered(self, packet_id: int) -> bool:
@@ -339,6 +356,8 @@ class RlncDecoder:
         if not added:
             self.stats.dependent_discarded += 1
         if rng.complete:
+            if self.sanitizer.enabled:
+                self.sanitizer.check_decode_complete(rng)
             for pid, original in sorted(rng.recovered().items()):
                 self._deliver(pid, original, out)
                 self.stats.packets_recovered += 1
@@ -359,6 +378,8 @@ class RlncDecoder:
                     completed.append(key)
         for key in completed:
             rng = self._ranges.pop(key)
+            if self.sanitizer.enabled:
+                self.sanitizer.check_decode_complete(rng)
             for pid, original in sorted(rng.recovered().items()):
                 self._deliver(pid, original, out)
                 self.stats.packets_recovered += 1

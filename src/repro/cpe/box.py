@@ -20,6 +20,14 @@ from ..netstack.ip import IpError, Ipv4Packet, PROTO_UDP, UDP_HEADER, UDP_HEADER
 from .modem import CellularModem, default_modem_bank
 from .tun import TunInterface
 
+__all__ = [
+    "PEAK_POWER_W",
+    "STANDBY_POWER_W",
+    "CpuSubsystem",
+    "CpeStats",
+    "CpeBox",
+]
+
 #: §5.1 power envelope.
 PEAK_POWER_W = 50.0
 STANDBY_POWER_W = 25.0

@@ -16,6 +16,14 @@ import numpy as np
 
 from ..emulation.cellular import CellularTrace, generate_cellular_trace
 
+__all__ = [
+    "ModemModel",
+    "RM500Q_GL",
+    "EP06_E",
+    "CellularModem",
+    "default_modem_bank",
+]
+
 
 @dataclass(frozen=True)
 class ModemModel:

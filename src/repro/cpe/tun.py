@@ -17,6 +17,12 @@ from typing import Callable, List, Optional
 
 from ..netstack.ip import FragmentReassembler, IpError, Ipv4Packet, fragment
 
+__all__ = [
+    "DEFAULT_TUN_MTU",
+    "TunStats",
+    "TunInterface",
+]
+
 #: Appx. E: 1500-byte device MTU minus 60 bytes of tunnel headers.
 DEFAULT_TUN_MTU = 1440
 

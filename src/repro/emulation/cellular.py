@@ -35,6 +35,20 @@ import numpy as np
 
 from .trace import LinkTrace, LossProcess, opportunities_from_capacity
 
+__all__ = [
+    "RF_SAMPLE_INTERVAL",
+    "TechnologyProfile",
+    "PROFILE_5G",
+    "PROFILE_LTE",
+    "PROFILE_LEO_SAT",
+    "profile_for",
+    "CellularTrace",
+    "generate_cellular_trace",
+    "generate_fleet_traces",
+    "generate_rural_traces",
+    "generate_downlink_trace",
+]
+
 #: Sampling interval for the RF processes (seconds).
 RF_SAMPLE_INTERVAL = 0.1
 

@@ -23,6 +23,11 @@ from .events import EventLoop
 from .link import DEFAULT_QUEUE_LIMIT_BYTES, EmulatedLink, LinkStats
 from .trace import LinkTrace
 
+__all__ = [
+    "PathChannel",
+    "MultipathEmulator",
+]
+
 
 @dataclass
 class PathChannel:

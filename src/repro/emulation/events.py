@@ -13,6 +13,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+__all__ = [
+    "SimulationError",
+    "EventHandle",
+    "EventLoop",
+    "PeriodicTimer",
+]
+
 
 class SimulationError(Exception):
     """Raised for invalid scheduling (e.g. events in the past)."""

@@ -13,15 +13,21 @@ seconds of delay — exactly the behaviour measured in Fig. 3(c).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Optional
 from collections import deque
 
 import numpy as np
 
+from ..determinism import seeded_rng
 from .events import EventLoop
 from .trace import LinkTrace, MTU_BYTES
+
+__all__ = [
+    "DEFAULT_QUEUE_LIMIT_BYTES",
+    "LinkStats",
+    "EmulatedLink",
+]
 
 #: Default drop-tail queue limit; ~0.5 s of 30 Mbps video, deep enough for
 #: bufferbloat-style delay spikes, small enough to convert sustained
@@ -90,7 +96,7 @@ class EmulatedLink:
         self.path_id = path_id
         self.direction = direction
         self.stats = LinkStats()
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self._queue: Deque[_Queued] = deque()
         self._queue_bytes = 0
         self._drain_scheduled = False

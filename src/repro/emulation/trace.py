@@ -22,6 +22,19 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+__all__ = [
+    "MTU_BYTES",
+    "TraceError",
+    "LossProcess",
+    "LinkTrace",
+    "opportunities_from_rate",
+    "opportunities_from_capacity",
+    "save_mahimahi",
+    "load_mahimahi",
+    "save_json",
+    "load_json",
+]
+
 #: Bytes carried by one delivery opportunity (Mahimahi's assumption).
 MTU_BYTES = 1500
 

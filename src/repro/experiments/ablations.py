@@ -26,6 +26,18 @@ from ..core.recovery import RecoveryPolicy
 from ..emulation.cellular import generate_fleet_traces
 from .runner import run_stream
 
+__all__ = [
+    "HARSH_SEEDS",
+    "AblationPoint",
+    "ROW_HEADERS",
+    "sweep_extra_packets",
+    "sweep_rho",
+    "sweep_spread_mode",
+    "sweep_expiry",
+    "sweep_range_size",
+    "sweep_app_threshold",
+]
+
 #: Default ablation seeds: chosen so the traces include real outages and
 #: loss bursts (benign drives make every knob look identical).
 HARSH_SEEDS = (0, 7, 8)

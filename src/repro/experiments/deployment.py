@@ -24,6 +24,12 @@ from ..cpe.box import CpeBox
 from ..video.source import VideoConfig
 from .runner import run_stream
 
+__all__ = [
+    "VehicleDayRecord",
+    "DeploymentReport",
+    "simulate_deployment",
+]
+
 
 @dataclass
 class VehicleDayRecord:

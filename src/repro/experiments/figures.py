@@ -23,6 +23,26 @@ from ..emulation.cellular import generate_cellular_trace, generate_fleet_traces
 from ..video.source import VideoConfig
 from .runner import StreamRunResult, run_single_link_stream, run_stream
 
+__all__ = [
+    "DEFAULT_DURATION",
+    "DEFAULT_SEEDS",
+    "SingleLinkResult",
+    "fig3_single_link",
+    "FrameTimeline",
+    "fig8_frame_timeline",
+    "ComparisonResult",
+    "compare_transports",
+    "fig9_road_test",
+    "DelayCdfResult",
+    "fig10a_delay_cdf",
+    "fig10b_redundancy",
+    "fig11_schedulers",
+    "fig12_pluribus",
+    "AblationResult",
+    "fig13a_qrlnc_ablation",
+    "fig13b_loss_detection_ablation",
+]
+
 DEFAULT_DURATION = 15.0
 DEFAULT_SEEDS = (0, 1, 2)
 

@@ -61,6 +61,15 @@ from ..video.qoe import QoeReport, _frame_status, analyze_qoe
 from ..video.receiver import VideoReceiver
 from ..video.source import VideoConfig, VideoSource
 
+__all__ = [
+    "TRANSPORT_NAMES",
+    "StreamRunResult",
+    "build_paths",
+    "make_transport",
+    "run_stream",
+    "run_single_link_stream",
+]
+
 logger = logging.getLogger(__name__)
 
 TRANSPORT_NAMES = (
@@ -134,69 +143,76 @@ def make_transport(
     receiver_sink: Callable[[int, bytes, float], None],
     xnc_config: Optional[XncConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    sanitize=None,
 ) -> Tuple[object, object]:
-    """Instantiate (client, server) for a registry name."""
+    """Instantiate (client, server) for a registry name.
+
+    ``sanitize`` follows :func:`repro.sanitizer.sanitizer_or_default`
+    semantics: ``None`` defers to the ``REPRO_SANITIZE`` env hook,
+    ``True``/``False`` force it, and a sanitizer instance is shared.
+    """
     tel = telemetry
+    san = sanitize
     if name in ("cellfusion", "xnc"):
         paths = build_paths(emulator, BbrController)
         client = XncTunnelClient(loop, emulator, paths, xnc_config or XncConfig(),
-                                 telemetry=tel)
-        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                 telemetry=tel, sanitizer=san)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "xnc-no-rlnc":
         paths = build_paths(emulator, BbrController)
         cfg = xnc_config or XncConfig()
         cfg.coding_enabled = False
-        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel)
-        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel, sanitizer=san)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "xnc-pto-only":
         paths = build_paths(emulator, BbrController)
         cfg = xnc_config or XncConfig()
         cfg.loss_policy = QoeLossPolicy(app_threshold=None)
-        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel)
-        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+        client = XncTunnelClient(loop, emulator, paths, cfg, telemetry=tel, sanitizer=san)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "mpquic":
         paths = build_paths(emulator, BbrController)
         client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
-                                      telemetry=tel)
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "mptcp":
         paths = build_paths(emulator, NewRenoController)
         client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
-                                      telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
         client.rto_min = 0.200  # kernel TCP RTO_min
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "bonding":
-        client = BondingTunnelClient(loop, emulator, telemetry=tel)
-        server = UnorderedTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+        client = BondingTunnelClient(loop, emulator, telemetry=tel, sanitizer=san)
+        server = UnorderedTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "minRTT":
         paths = build_paths(emulator, BbrController)
         client = ReliableTunnelClient(loop, emulator, paths, MinRttScheduler(),
-                                      telemetry=tel)
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "RE":
         paths = build_paths(emulator, BbrController)
         client = ReliableTunnelClient(loop, emulator, paths, RedundantScheduler(),
-                                      telemetry=tel)
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "XLINK":
         paths = build_paths(emulator, BbrController)
         client = ReliableTunnelClient(loop, emulator, paths, XlinkScheduler(),
-                                      telemetry=tel)
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "ECF":
         paths = build_paths(emulator, BbrController)
         client = ReliableTunnelClient(loop, emulator, paths, EcfScheduler(),
-                                      telemetry=tel)
-        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = InOrderTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "pluribus":
         paths = build_paths(emulator, BbrController)
         client = PluribusTunnelClient(loop, emulator, paths, PluribusConfig(),
-                                      telemetry=tel)
-        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+                                      telemetry=tel, sanitizer=san)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     elif name == "fec":
         paths = build_paths(emulator, BbrController)
-        client = FecTunnelClient(loop, emulator, paths, FecConfig(), telemetry=tel)
-        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel)
+        client = FecTunnelClient(loop, emulator, paths, FecConfig(), telemetry=tel, sanitizer=san)
+        server = XncTunnelServer(loop, emulator, receiver_sink, telemetry=tel, sanitizer=san)
     else:
         raise ValueError("unknown transport %r (choose from %s)" % (name, ", ".join(TRANSPORT_NAMES)))
     return client, server
@@ -211,6 +227,7 @@ def run_stream(
     xnc_config: Optional[XncConfig] = None,
     drain_time: float = 1.5,
     telemetry: Union[bool, Telemetry] = False,
+    sanitize=None,
 ) -> StreamRunResult:
     """Run one streaming session end to end and analyse it.
 
@@ -223,6 +240,12 @@ def run_stream(
     the result's ``telemetry`` field carries the lifecycle trace, metrics,
     and per-path timelines of the run.  The default ``False`` threads the
     shared no-op handle through, costing one branch per instrumented site.
+
+    ``sanitize`` arms the runtime protocol sanitizer
+    (:mod:`repro.sanitizer`): ``True`` gives each endpoint a fresh
+    checker that raises :class:`~repro.sanitizer.SanitizerViolation` on
+    the first invariant breach; the default ``None`` defers to the
+    ``REPRO_SANITIZE`` environment hook; ``False`` forces it off.
     """
     loop = EventLoop()
     tel: Optional[Telemetry]
@@ -239,7 +262,8 @@ def run_stream(
     emulator = MultipathEmulator(loop, uplink_traces, seed=seed, telemetry=tel)
     receiver = VideoReceiver()
     client, server = make_transport(
-        transport, loop, emulator, receiver.on_app_packet, xnc_config, telemetry=tel
+        transport, loop, emulator, receiver.on_app_packet, xnc_config,
+        telemetry=tel, sanitize=sanitize,
     )
     if tel is not None:
         tel.start_sampling(loop, client.paths, emulator=emulator)

@@ -15,6 +15,12 @@ from ..quic.cc.base import CongestionController
 from ..quic.cc.bbr import BbrController
 from ..quic.rtt import RttEstimator
 
+__all__ = [
+    "PATH_FAILURE_PTOS",
+    "PathState",
+    "PathManager",
+]
+
 #: A path with no ACK for this many PTOs is considered potentially failed
 #: and deprioritised for first transmissions.
 PATH_FAILURE_PTOS = 3.0

@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 
 from ..path import PathState
 
+__all__ = ["Scheduler"]
+
 
 class Scheduler:
     """Base multipath scheduler."""

@@ -20,6 +20,11 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = [
+    "BLOCKING_MARGIN",
+    "BlestScheduler",
+]
+
 #: Tolerated extra delivery delay before the slow path is deemed blocking.
 BLOCKING_MARGIN = 1.5
 

@@ -16,6 +16,12 @@ from typing import List, Optional, Sequence, Tuple
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = [
+    "FiveTuple",
+    "hash_five_tuple",
+    "BondingScheduler",
+]
+
 FiveTuple = Tuple[str, int, str, int, int]
 
 

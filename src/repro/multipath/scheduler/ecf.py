@@ -16,6 +16,11 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = [
+    "ECF_BETA",
+    "EcfScheduler",
+]
+
 #: Hysteresis factor from the ECF paper (their delta / beta ~ 0.25).
 ECF_BETA = 0.25
 

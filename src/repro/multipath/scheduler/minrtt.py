@@ -13,6 +13,8 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = ["MinRttScheduler"]
+
 
 class MinRttScheduler(Scheduler):
     """Lowest-RTT available path wins."""

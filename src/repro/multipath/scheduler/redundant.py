@@ -13,6 +13,8 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = ["RedundantScheduler"]
+
 
 class RedundantScheduler(Scheduler):
     """Send a copy on every path with available window."""

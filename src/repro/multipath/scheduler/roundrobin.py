@@ -8,6 +8,8 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = ["RoundRobinScheduler"]
+
 
 class RoundRobinScheduler(Scheduler):
     """Cycle through paths with available window."""

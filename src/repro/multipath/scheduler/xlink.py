@@ -19,6 +19,11 @@ from typing import List, Sequence
 from ..path import PathState
 from .base import Scheduler
 
+__all__ = [
+    "RISK_RTT_RATIO",
+    "XlinkScheduler",
+]
+
 #: Duplicate onto a backup path when the best path's RTT exceeds the best
 #: alternative by this factor (a risk proxy for "might miss the deadline").
 RISK_RTT_RATIO = 1.6

@@ -14,6 +14,26 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+__all__ = [
+    "IPV4_HEADER",
+    "IPV4_HEADER_SIZE",
+    "UDP_HEADER",
+    "UDP_HEADER_SIZE",
+    "PROTO_UDP",
+    "PROTO_TCP",
+    "FLAG_DF",
+    "FLAG_MF",
+    "IpError",
+    "checksum16",
+    "ip_to_bytes",
+    "bytes_to_ip",
+    "Ipv4Packet",
+    "build_udp",
+    "parse_udp",
+    "fragment",
+    "FragmentReassembler",
+]
+
 IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
 IPV4_HEADER_SIZE = IPV4_HEADER.size  # 20, no options
 UDP_HEADER = struct.Struct("!HHHH")

@@ -22,6 +22,15 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Tuple
 
+__all__ = [
+    "DEFAULT_GROWTH",
+    "DEFAULT_MIN_VALUE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
 #: Geometric bucket growth; ~1.6% worst-case relative quantile error.
 DEFAULT_GROWTH = 1.03
 #: Values below this are clamped into bucket 0 (100 ns in seconds-units).

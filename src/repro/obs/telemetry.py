@@ -30,6 +30,12 @@ from .metrics import MetricsRegistry
 from .timeline import DEFAULT_SAMPLE_INTERVAL, PathSample, PathTimelineSampler
 from .trace import TraceBuffer, write_jsonl
 
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+]
+
 logger = logging.getLogger(__name__)
 
 

@@ -14,6 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, asdict
 from typing import Dict, List, Optional
 
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL",
+    "PathSample",
+    "sample_path",
+    "PathTimelineSampler",
+]
+
 #: Default sampling cadence in simulated seconds (20 Hz).
 DEFAULT_SAMPLE_INTERVAL = 0.05
 

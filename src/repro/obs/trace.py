@@ -20,6 +20,26 @@ import json
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
 
+__all__ = [
+    "APP_IN",
+    "INGRESS_DROP",
+    "SCHEDULED",
+    "TX",
+    "ACK",
+    "QOE_LOSS",
+    "CC_LOSS",
+    "RANGE_FORMED",
+    "RECOVERY_TX",
+    "DECODED",
+    "EXPIRED",
+    "LINK_DROP",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "TraceBuffer",
+    "write_jsonl",
+    "read_jsonl",
+]
+
 # -- event kinds (the lifecycle vocabulary) ---------------------------------
 
 APP_IN = "app_in"              #: application packet entered the tunnel

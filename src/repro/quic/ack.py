@@ -13,6 +13,11 @@ from typing import List, Optional, Tuple
 
 from .packet import AckFrame
 
+__all__ = [
+    "MAX_ACK_RANGES",
+    "AckRangeTracker",
+]
+
 #: Cap on ranges carried per ACK frame (RFC 9000 implementations bound this).
 MAX_ACK_RANGES = 32
 

@@ -11,6 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+__all__ = [
+    "DEFAULT_MSS",
+    "INITIAL_WINDOW",
+    "MIN_WINDOW",
+    "CongestionController",
+]
+
 #: Conventional QUIC defaults.
 DEFAULT_MSS = 1400
 INITIAL_WINDOW = 10 * DEFAULT_MSS

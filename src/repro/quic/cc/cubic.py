@@ -24,6 +24,13 @@ from typing import Optional
 
 from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
 
+__all__ = [
+    "CUBIC_C",
+    "CUBIC_BETA",
+    "FAST_CONVERGENCE",
+    "CubicController",
+]
+
 #: RFC 8312 constants.
 CUBIC_C = 0.4          # scaling constant (window units: MSS, time: s)
 CUBIC_BETA = 0.7       # multiplicative decrease factor

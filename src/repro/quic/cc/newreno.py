@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
 
+__all__ = ["NewRenoController"]
+
 
 class NewRenoController(CongestionController):
     """RFC 9002-style NewReno with recovery epochs."""

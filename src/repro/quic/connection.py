@@ -25,6 +25,18 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from ..emulation.events import EventLoop
+from ..sanitizer import sanitizer_or_default
+
+__all__ = [
+    "XNC_PRNG_MINSTD",
+    "IDLE_TIMER_GRANULARITY",
+    "HandshakeError",
+    "TransportParameters",
+    "ConnectionId",
+    "ConnectionIdManager",
+    "QuicConnection",
+    "establish_tunnel_connection",
+]
 
 #: XNC's coefficient-generator family tag (both ends must match).
 XNC_PRNG_MINSTD = "minstd-gf256"
@@ -114,12 +126,26 @@ class QuicConnection:
 
     IDLE, HANDSHAKING, ESTABLISHED, CLOSED = "idle", "handshaking", "established", "closed"
 
+    #: Legal lifecycle edges (the server skips HANDSHAKING: it goes
+    #: ESTABLISHED on the client hello; either side may close from any
+    #: live state, and close() is idempotent).
+    ALLOWED_TRANSITIONS = frozenset([
+        (IDLE, HANDSHAKING),
+        (IDLE, ESTABLISHED),
+        (IDLE, CLOSED),
+        (HANDSHAKING, ESTABLISHED),
+        (HANDSHAKING, CLOSED),
+        (ESTABLISHED, CLOSED),
+        (CLOSED, CLOSED),
+    ])
+
     def __init__(
         self,
         loop: EventLoop,
         is_client: bool,
         local_params: Optional[TransportParameters] = None,
         on_established: Optional[Callable[["QuicConnection"], None]] = None,
+        sanitizer=None,
     ):
         self.loop = loop
         self.is_client = is_client
@@ -127,11 +153,18 @@ class QuicConnection:
         self.negotiated: Optional[TransportParameters] = None
         self.on_established = on_established
         self.state = self.IDLE
+        self.sanitizer = sanitizer_or_default(sanitizer, label="QuicConnection")
         self.cids = ConnectionIdManager()
         self.paths: List[int] = []
         self.last_activity = loop.now
         self._idle_handle = None
         self.peer: Optional["QuicConnection"] = None
+
+    def _set_state(self, new: str) -> None:
+        if self.sanitizer.enabled:
+            self.sanitizer.check_state_transition(self.state, new,
+                                                  self.ALLOWED_TRANSITIONS)
+        self.state = new
 
     # -- handshake --------------------------------------------------------
 
@@ -141,7 +174,7 @@ class QuicConnection:
             raise HandshakeError("connect() is client-side")
         if self.state not in (self.IDLE,):
             raise HandshakeError("connection already %s" % self.state)
-        self.state = self.HANDSHAKING
+        self._set_state(self.HANDSHAKING)
         self.peer = server
         self.loop.call_later(rtt / 2, server._on_client_hello, self, rtt)
 
@@ -151,22 +184,22 @@ class QuicConnection:
         try:
             negotiated = self.local_params.negotiate(client.local_params)
         except HandshakeError:
-            self.state = self.CLOSED
+            self._set_state(self.CLOSED)
             self.loop.call_later(rtt / 2, client._on_handshake_failed)
             raise
         self.negotiated = negotiated
         self.peer = client
-        self.state = self.ESTABLISHED
+        self._set_state(self.ESTABLISHED)
         self._finish_establish()
         self.loop.call_later(rtt / 2, client._on_server_hello, negotiated)
 
     def _on_server_hello(self, negotiated: TransportParameters) -> None:
         self.negotiated = negotiated
-        self.state = self.ESTABLISHED
+        self._set_state(self.ESTABLISHED)
         self._finish_establish()
 
     def _on_handshake_failed(self) -> None:
-        self.state = self.CLOSED
+        self._set_state(self.CLOSED)
 
     def _finish_establish(self) -> None:
         self.last_activity = self.loop.now
@@ -215,6 +248,10 @@ class QuicConnection:
         self._idle_handle = self.loop.call_later(self.negotiated.idle_timeout, self._idle_check)
 
     def _idle_check(self) -> None:
+        if self.sanitizer.enabled:
+            # catches the re-arm-at-identical-timestamp spin that the
+            # granularity floor below exists to prevent
+            self.sanitizer.check_timer_progress("idle-timer", self.loop.now)
         if self.state != self.ESTABLISHED or self.negotiated is None:
             return
         if self.loop.now - self.last_activity >= self.negotiated.idle_timeout:
@@ -229,7 +266,7 @@ class QuicConnection:
         )
 
     def close(self) -> None:
-        self.state = self.CLOSED
+        self._set_state(self.CLOSED)
         if self._idle_handle is not None:
             self._idle_handle.cancel()
             self._idle_handle = None

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = [
+    "INITIAL_RTT",
+    "RttEstimator",
+]
+
 #: RFC 9002 recommended initial RTT before any sample exists.
 INITIAL_RTT = 0.333
 

@@ -33,6 +33,20 @@ from ..core.frames import FRAME_XNC_NC, FrameError, XncNcFrame
 from .packet import AckFrame, PingFrame, QuicPacket
 from .varint import decode_varint, encode_varint
 
+__all__ = [
+    "FRAME_PING",
+    "FRAME_ACK",
+    "HEADER_FLAGS",
+    "DCID_LEN",
+    "PN_LEN",
+    "AEAD_TAG_LEN",
+    "ACK_DELAY_UNIT",
+    "WireError",
+    "serialize_packet",
+    "ParsedPacket",
+    "parse_packet",
+]
+
 FRAME_PING = 0x01
 FRAME_ACK = 0x02
 

@@ -1,0 +1,29 @@
+"""Protocol sanitizer: opt-in runtime invariant checks for the XNC stack.
+
+Off by default (endpoints hold the shared :data:`NULL_SANITIZER`); enable
+with ``repro run --sanitize`` or ``REPRO_SANITIZE=1``.  See
+``docs/static-analysis.md`` for the invariant catalogue with paper
+references.
+"""
+
+from .core import (
+    NULL_SANITIZER,
+    NullSanitizer,
+    ProtocolSanitizer,
+    SanitizerViolation,
+    env_enabled,
+    reset_totals,
+    sanitizer_or_default,
+    totals,
+)
+
+__all__ = [
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "ProtocolSanitizer",
+    "SanitizerViolation",
+    "env_enabled",
+    "reset_totals",
+    "sanitizer_or_default",
+    "totals",
+]

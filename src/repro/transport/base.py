@@ -33,6 +33,20 @@ from ..obs import NULL_TELEMETRY
 from ..obs import trace as ev
 from ..quic.ack import AckRangeTracker
 from ..quic.packet import AckFrame, QuicPacket
+from ..sanitizer import sanitizer_or_default
+
+__all__ = [
+    "PACKET_REORDER_THRESHOLD",
+    "TIME_THRESHOLD_FACTOR",
+    "MAX_ACK_DELAY",
+    "CLIENT_TICK",
+    "INGRESS_QUEUE_LIMIT",
+    "AppPacket",
+    "SentInfo",
+    "ClientStats",
+    "TunnelClientBase",
+    "TunnelServerBase",
+]
 
 #: RFC 9002 packet reordering threshold.
 PACKET_REORDER_THRESHOLD = 3
@@ -112,6 +126,12 @@ class ClientStats:
 class TunnelClientBase:
     """Common client: queueing, scheduling, ACK processing, cc loss."""
 
+    #: Whether this client promises never to initiate a send with the
+    #: congestion window already full.  Proactive-FEC baselines (Pluribus,
+    #: fixed-rate FEC) intentionally push repairs past the spare window,
+    #: so they opt out of the sanitizer's inflight<=cwnd invariant.
+    sanitize_window_discipline = True
+
     def __init__(
         self,
         loop: EventLoop,
@@ -122,12 +142,14 @@ class TunnelClientBase:
         ingress_limit: int = INGRESS_QUEUE_LIMIT,
         connection_id: int = 0,
         telemetry=None,
+        sanitizer=None,
     ):
         self.loop = loop
         self.emulator = emulator
         self.paths = paths
         self.scheduler = scheduler
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.sanitizer = sanitizer_or_default(sanitizer, label=type(self).__name__)
         self.ingress_limit = ingress_limit
         #: Distinguishes this connection's packets when several tunnels
         #: share the same links (e.g. the bidirectional tunnel).
@@ -233,6 +255,8 @@ class TunnelClientBase:
             targets = self.scheduler.select(self.paths.all(), wire_estimate, self.loop.now)
             if not targets:
                 return
+            if self.sanitizer.enabled:
+                self.sanitizer.check_scheduler_targets(targets, wire_estimate, self.loop.now)
             self._queue.popleft()
             if tel.enabled:
                 tel.event(self.loop.now, ev.SCHEDULED, pkt.packet_id,
@@ -271,6 +295,10 @@ class TunnelClientBase:
         self._sent[path.path_id][pn] = info
         self._sent_order[path.path_id].append(pn)
         path.on_sent(size, self.loop.now)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_transmit(
+                path, pn, size,
+                window_disciplined=self.sanitize_window_discipline)
         if is_recovery:
             self.stats.recovery_packets += 1
             self.stats.recovery_bytes += size
@@ -311,6 +339,8 @@ class TunnelClientBase:
     def _process_ack(self, ack: AckFrame, now: float) -> None:
         self.stats.acks_received += 1
         path = self.paths.get(ack.path_id)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_ack_plausible(path, ack.largest)
         sent_map = self._sent[ack.path_id]
         order = self._sent_order[ack.path_id]
         # everything below the oldest outstanding pn is already resolved;
@@ -438,10 +468,12 @@ class TunnelServerBase:
         max_ack_delay: float = MAX_ACK_DELAY,
         connection_id: int = 0,
         telemetry=None,
+        sanitizer=None,
     ):
         self.loop = loop
         self.emulator = emulator
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.sanitizer = sanitizer_or_default(sanitizer, label=type(self).__name__)
         self.on_app_packet = on_app_packet
         self.connection_id = connection_id
         self.ack_every = ack_every

@@ -22,6 +22,11 @@ from ..emulation.events import EventLoop
 from ..multipath.path import PathManager, PathState
 from ..quic.cc.bbr import BbrController
 
+__all__ = [
+    "ReversedEmulator",
+    "BidirectionalTunnel",
+]
+
 
 class ReversedEmulator:
     """The emulator with uplink and downlink swapped.

@@ -19,6 +19,14 @@ from typing import List, Optional, Sequence
 
 from .receiver import FrameRecord
 
+__all__ = [
+    "PlayoutPolicy",
+    "PlayoutEvent",
+    "PlayoutReport",
+    "simulate_playout",
+    "minimum_clean_playout_delay",
+]
+
 
 @dataclass
 class PlayoutPolicy:

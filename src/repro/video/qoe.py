@@ -26,6 +26,18 @@ from typing import List, Optional, Sequence
 
 from .receiver import FrameRecord
 
+__all__ = [
+    "STALL_THRESHOLD",
+    "SSIM_FULL",
+    "SSIM_FREEZE_DECAY",
+    "SSIM_FLOOR",
+    "DECODE_MIN_FRACTION",
+    "BLOCKY_EXPONENT",
+    "PROPAGATION_PENALTY",
+    "QoeReport",
+    "analyze_qoe",
+]
+
 #: Stall threshold used by streaming services and by the paper (200 ms).
 STALL_THRESHOLD = 0.200
 #: SSIM of a perfectly delivered frame (encoder quantisation leaves ~0.97).

@@ -13,6 +13,11 @@ from typing import Dict, List, Optional
 
 from .source import VideoPacket, VideoPacketError
 
+__all__ = [
+    "FrameRecord",
+    "VideoReceiver",
+]
+
 
 @dataclass
 class FrameRecord:

@@ -19,6 +19,21 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
+__all__ = [
+    "RTP_VERSION",
+    "RTP_HEADER",
+    "RTP_HEADER_SIZE",
+    "EXTENSION_PROFILE",
+    "EXTENSION_SIZE",
+    "DEFAULT_PAYLOAD_TYPE",
+    "VIDEO_CLOCK_HZ",
+    "RtpError",
+    "RtpPacket",
+    "RtpPacketizer",
+    "sniff_frame_border",
+    "sniff_frame_id",
+]
+
 RTP_VERSION = 2
 RTP_HEADER = struct.Struct("!BBHII")
 RTP_HEADER_SIZE = RTP_HEADER.size  # 12

@@ -12,12 +12,24 @@ in-band lets the receiver compute the same QoE metrics.
 from __future__ import annotations
 
 import math
-import random
 import struct
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..determinism import seeded_rng
 from ..emulation.events import EventLoop, PeriodicTimer
+
+__all__ = [
+    "PACKET_HEADER",
+    "HEADER_MAGIC",
+    "FLAG_KEYFRAME",
+    "DEFAULT_PACKET_PAYLOAD",
+    "VideoPacketError",
+    "VideoPacket",
+    "build_packet",
+    "VideoConfig",
+    "VideoSource",
+]
 
 #: Packet header: magic(2) frame_id(u32) seq(u16) count(u16) flags(u8)
 #: capture_ts(f64) -> 19 bytes.
@@ -102,7 +114,7 @@ class VideoSource:
         self.loop = loop
         self.sink = sink
         self.config = config or VideoConfig()
-        self._rng = random.Random(self.config.seed)
+        self._rng = seeded_rng(self.config.seed)
         self.frames_emitted = 0
         self.packets_emitted = 0
         self.bytes_emitted = 0

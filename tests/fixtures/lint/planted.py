@@ -1,0 +1,53 @@
+# PLANT: module-all
+"""Deliberately broken module for the linter self-test.  Never imported.
+
+Every line carrying a ``# PLANT: <rule-id>`` marker must be reported by
+``tools.lint`` when run with ``--all-rules`` (the marker on line 1 covers
+the whole-module ``module-all`` finding, which the engine pins to line 1).
+``tests/test_lint.py`` parses the markers and asserts exact
+(rule, line) agreement — no more, no less.
+
+The file lives under ``tests/fixtures/`` precisely so the
+``src/repro/``-scoped rules stay silent on a default ``repro lint`` run;
+only the fixture test turns scoping off.
+"""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_reads():
+    t = time.time()  # PLANT: no-wall-clock
+    m = time.monotonic()  # PLANT: no-wall-clock
+    d = datetime.datetime.now()  # PLANT: no-wall-clock
+    return t + m + d.timestamp()
+
+
+def unseeded_randomness():
+    x = random.random()  # PLANT: no-unseeded-rng
+    rng = random.Random()  # PLANT: no-unseeded-rng
+    np.random.seed(7)  # PLANT: no-unseeded-rng
+    return x, rng
+
+
+def raw_rng_construction(seed):
+    return random.Random(seed)  # PLANT: no-raw-rng
+
+
+def float_timestamp_equality(now, deadline):
+    if now == deadline:  # PLANT: no-float-time-eq
+        return True
+    return now != 0.0  # PLANT: no-float-time-eq
+
+
+def unguarded_telemetry(tel):
+    tel.count("fixture.unguarded")  # PLANT: telemetry-guard
+    if tel.enabled:
+        tel.count("fixture.guarded")  # correctly guarded: not reported
+
+
+def justified_suppression_is_silent():
+    return time.time()  # lint: disable=no-wall-clock -- fixture: proves a justified suppression silences the hit

@@ -1,0 +1,169 @@
+"""Self-test for the repo-native linter (``tools/lint``).
+
+Two enforcement guarantees ride on this module being part of tier-1:
+
+* ``test_repo_lints_clean`` — the whole tree passes ``repro lint``, so a
+  PR introducing a wall-clock read, unseeded RNG, or an unguarded
+  telemetry call fails the suite, not a code review;
+* ``TestPlantedFixture`` — every deliberately planted violation in
+  ``tests/fixtures/lint/planted.py`` is detected with the correct rule
+  id, file, and line, so the rules themselves cannot silently rot.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+import tools.lint as lint
+from tools.lint import engine
+from tools.lint.engine import Rule, Violation, lint_paths, register
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE = "tests/fixtures/lint/planted.py"
+
+#: Marker grammar used by the fixture: ``# PLANT: <rule-id>``.
+_PLANT_RE = re.compile(r"#\s*PLANT:\s*(?P<id>[a-z0-9\-]+)")
+
+
+def planted_expectations():
+    """(rule, line) pairs declared by the fixture's PLANT markers."""
+    expected = set()
+    text = (REPO_ROOT / FIXTURE).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _PLANT_RE.search(line)
+        if m:
+            expected.add((m.group("id"), lineno))
+    return expected
+
+
+def test_repo_lints_clean():
+    """`repro lint` exits 0 on the repo itself (the enforced gate)."""
+    violations = lint_paths(REPO_ROOT, lint.DEFAULT_TARGETS)
+    assert violations == [], "repo must lint clean:\n%s" % "\n".join(
+        v.format() for v in violations)
+
+
+class TestPlantedFixture:
+    def test_all_planted_violations_detected(self):
+        expected = planted_expectations()
+        assert len(expected) >= 10, "fixture lost its planted markers"
+        got = lint_paths(REPO_ROOT, [FIXTURE], all_rules_everywhere=True)
+        assert all(v.path == FIXTURE for v in got)
+        assert {(v.rule, v.line) for v in got} == expected
+
+    def test_scoped_rules_silent_without_all_rules(self):
+        # the fixture sits outside src/repro/, so a default-scope run sees
+        # nothing — which is what keeps `repro lint` green on the repo
+        assert lint_paths(REPO_ROOT, [FIXTURE]) == []
+
+    def test_justified_suppression_not_reported(self):
+        got = lint_paths(REPO_ROOT, [FIXTURE], all_rules_everywhere=True)
+        suppressed_line = next(
+            lineno for lineno, line in enumerate(
+                (REPO_ROOT / FIXTURE).read_text().splitlines(), start=1)
+            if "justified suppression silences" in line)
+        assert not any(v.line == suppressed_line for v in got)
+
+    def test_rule_filter(self):
+        got = lint_paths(REPO_ROOT, [FIXTURE], rule_ids=["no-wall-clock"],
+                         all_rules_everywhere=True)
+        assert got and all(v.rule == "no-wall-clock" for v in got)
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            lint_paths(REPO_ROOT, [FIXTURE], rule_ids=["no-such-rule"])
+
+
+class TestEngineMechanics:
+    def _lint_snippet(self, tmp_path, source, rel="src/repro/mod.py", **kwargs):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        return lint_paths(tmp_path, [rel], **kwargs)
+
+    def test_scoping_applies_under_src_repro(self, tmp_path):
+        got = self._lint_snippet(
+            tmp_path, '__all__ = []\nimport time\nT = time.time()\n')
+        assert [(v.rule, v.line) for v in got] == [("no-wall-clock", 3)]
+
+    def test_suppression_with_justification(self, tmp_path):
+        pragma = "# lint: disable=no-wall-clock -- test scaffolding"
+        got = self._lint_snippet(
+            tmp_path,
+            '__all__ = []\nimport time\nT = time.time()  %s\n' % pragma)
+        assert got == []
+
+    def test_bare_suppression_reported(self, tmp_path):
+        # assembled so this test file itself carries no bare pragma
+        pragma = "# lint: disa" + "ble=no-wall-clock"
+        got = self._lint_snippet(
+            tmp_path,
+            '__all__ = []\nimport time\nT = time.time()  %s\n' % pragma)
+        assert [(v.rule, v.line) for v in got] == [("bare-suppression", 3)]
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        got = self._lint_snippet(tmp_path, "def broken(:\n")
+        assert [v.rule for v in got] == ["parse-error"]
+
+    def test_dishonest_dunder_all_reported(self, tmp_path):
+        got = self._lint_snippet(tmp_path, '__all__ = ["ghost"]\n')
+        assert [(v.rule, v.line) for v in got] == [("module-all", 1)]
+
+    def test_json_output_round_trips(self):
+        got = lint_paths(REPO_ROOT, [FIXTURE], all_rules_everywhere=True)
+        decoded = json.loads(engine.format_json(got))
+        assert decoded == [v.as_dict() for v in got]
+        assert {"rule", "path", "line", "col", "message"} <= set(decoded[0])
+
+    def test_human_output_format(self):
+        v = Violation("r-id", "a/b.py", 3, 7, "boom")
+        assert v.format() == "a/b.py:3:7: r-id boom"
+        assert engine.format_human([]) == "lint: clean"
+        assert engine.format_human([v]).endswith("lint: 1 violation")
+
+    def test_register_rejects_duplicate_and_anonymous_ids(self):
+        existing = engine.all_rules()[0].id
+        with pytest.raises(ValueError, match="duplicate"):
+            register(type("Dup", (Rule,), {"id": existing}))
+        with pytest.raises(ValueError, match="non-empty id"):
+            register(type("Anon", (Rule,), {"id": ""}))
+
+    def test_rule_catalogue_complete(self):
+        ids = {r.id for r in engine.all_rules()}
+        assert {"no-wall-clock", "no-unseeded-rng", "no-raw-rng",
+                "no-float-time-eq", "telemetry-guard", "module-all"} <= ids
+
+
+class TestCli:
+    def test_main_clean_exit_zero(self, capsys):
+        assert lint.main(["--root", str(REPO_ROOT)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_main_planted_exit_one_with_location(self, capsys):
+        rc = lint.main([FIXTURE, "--all-rules", "--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        expected_rule, expected_line = sorted(planted_expectations())[0]
+        assert re.search(r"%s:\d+:\d+: " % re.escape(FIXTURE), out)
+        assert "%s:%d:" % (FIXTURE, expected_line) in out or expected_rule in out
+
+    def test_main_json_mode(self, capsys):
+        rc = lint.main([FIXTURE, "--all-rules", "--json",
+                        "--root", str(REPO_ROOT)])
+        assert rc == 1
+        decoded = json.loads(capsys.readouterr().out)
+        assert {(v["rule"], v["line"]) for v in decoded} == planted_expectations()
+
+    def test_list_rules(self, capsys):
+        assert lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in engine.all_rules():
+            assert rule.id in out
+
+    def test_repro_cli_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--root", str(REPO_ROOT)]) == 0
+        assert "lint: clean" in capsys.readouterr().out

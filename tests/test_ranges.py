@@ -33,6 +33,13 @@ class TestEncodeRange:
         assert not r.is_expired(now=1.5, t_expire=0.7)
         assert r.is_expired(now=1.8, t_expire=0.7)
 
+    def test_expiry_boundary_is_strict(self):
+        # §4.4.3: a range at age exactly t_expire is still recoverable;
+        # it expires strictly after (the sanitizer asserts the same edge)
+        r = EncodeRange(0, 2, last_sent_time=1.0)
+        assert not r.is_expired(now=1.7, t_expire=0.7)
+        assert r.is_expired(now=1.7 + 1e-9, t_expire=0.7)
+
 
 class TestRangePolicy:
     def test_defaults_match_paper(self):
@@ -156,6 +163,13 @@ class TestRetransmissionQueue:
         assert [p.packet_id for p in stale] == [1]
         assert q.contains(2)
         assert q.expired_packets == 1
+
+    def test_expire_boundary_is_strict(self):
+        q = RetransmissionQueue(RangePolicy(t_expire=0.5))
+        q.add(lp(1, 0.0))
+        assert q.expire(now=0.5) == []  # age == t_expire: kept
+        assert q.contains(1)
+        assert [p.packet_id for p in q.expire(now=0.5 + 1e-9)] == [1]
 
     def test_ranges_with_expiry(self):
         q = RetransmissionQueue(RangePolicy(t_expire=0.5))

@@ -96,6 +96,13 @@ class TestRangeRecovery:
         assert plan.n_coded == 8
         assert plan.total_packets >= 8
 
+    def test_delay_boundary_exactly_n_prime(self):
+        # n=5 -> n'=8: b = 7 delays, b = 8 is the minimum that plans
+        assert plan_recovery(5, budgets(3, 4)) is None
+        plan = plan_recovery(5, budgets(4, 4))
+        assert plan is not None
+        assert plan.total_packets == 8
+
     def test_total_bounded_by_rho(self):
         policy = RecoveryPolicy(rho=1.1)
         plan = plan_recovery(10, budgets(100, 100, 100, 100), policy)

@@ -32,7 +32,8 @@ class EchoClient(TunnelClientBase):
         self.cc_lost_infos.append(info)
 
 
-def build_world(rate=20.0, duration=20.0, loss=None, n_paths=2, seed=0):
+def build_world(rate=20.0, duration=20.0, loss=None, n_paths=2, seed=0,
+                sanitize=None):
     loop = EventLoop()
     traces = [
         LinkTrace(
@@ -47,8 +48,9 @@ def build_world(rate=20.0, duration=20.0, loss=None, n_paths=2, seed=0):
     emu = MultipathEmulator(loop, traces, seed=seed)
     paths = PathManager([PathState(i, cc=CongestionController()) for i in range(n_paths)])
     received = []
-    server = UnorderedTunnelServer(loop, emu, lambda pid, data, t: received.append((pid, data, t)))
-    client = EchoClient(loop, emu, paths, MinRttScheduler())
+    server = UnorderedTunnelServer(loop, emu, lambda pid, data, t: received.append((pid, data, t)),
+                                   sanitizer=sanitize)
+    client = EchoClient(loop, emu, paths, MinRttScheduler(), sanitizer=sanitize)
     return loop, emu, client, server, received
 
 
@@ -141,7 +143,10 @@ class TestServerBehaviour:
         assert client.acked_ids == [0]  # max_ack_delay timer fired
 
     def test_duplicate_packet_counted(self):
-        loop, emu, client, server, received = build_world()
+        # sanitizer off: this test injects packets straight into the
+        # emulator, so the server ACKs packet numbers the client never
+        # sent — a deliberate out-of-band stimulus, not a protocol bug
+        loop, emu, client, server, received = build_world(sanitize=False)
         # send the same QUIC packet twice by direct emulator injection
         from repro.quic.packet import QuicPacket
         frame = XncNcFrame.original(0, frame_payload(b"dup"))

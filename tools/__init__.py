@@ -1,0 +1,1 @@
+"""Repo tooling namespace (lint, CI gates, experiment builders)."""

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Verify that the disabled protocol sanitizer stays within its overhead budget.
+
+The sanitizer makes the same promise the telemetry layer does: when off,
+every instrumented call site is ``if san.enabled:`` against the shared
+``NULL_SANITIZER`` singleton, so the disabled cost per site is one
+attribute load plus one branch.  This script is the regression check:
+
+1. **Micro-benchmark** the guard: a tight loop over the disabled fast
+   path versus the same loop with no sanitizer statement, giving ns/site.
+2. **Count check activations** for a representative streaming run by
+   running once with the sanitizer armed — ``repro.sanitizer.totals()``
+   counts every check that fired, and each check corresponds to one
+   guarded site.
+3. **Bound the disabled overhead**: activations x guard cost as a
+   fraction of the sanitizer-off wall time.  Fail beyond the threshold
+   (default 5 %, ``--threshold`` or ``REPRO_SANITIZER_OVERHEAD_PCT`` —
+   the same bound the telemetry layer promises).
+
+The enabled-mode cost is reported for information only; armed runs are
+CI/debug tools, not the benchmark path.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_sanitizer_overhead.py
+    PYTHONPATH=src python tools/check_sanitizer_overhead.py --duration 6 --runs 5
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.runner import run_stream
+from repro.sanitizer import NULL_SANITIZER, reset_totals, totals
+
+DEFAULT_THRESHOLD_PCT = float(os.environ.get("REPRO_SANITIZER_OVERHEAD_PCT", "5.0"))
+
+
+def measure_guard_ns(iterations: int = 2_000_000) -> float:
+    """Per-call cost of the disabled-sanitizer guard, in nanoseconds."""
+    san = NULL_SANITIZER
+
+    def guarded(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            if san.enabled:
+                san.check_timer_progress("x", 0.0)
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    guarded(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    guarded(iterations)
+    with_guard = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def best_wall_time(sanitize: bool, duration: float, seed: int, runs: int) -> float:
+    """Best-of-N wall time of one streaming run (min filters scheduler noise)."""
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        run_stream("cellfusion", duration=duration, seed=seed, sanitize=sanitize)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def count_activations(duration: float, seed: int) -> int:
+    """How many guarded check sites fire during one armed run."""
+    reset_totals()
+    run_stream("cellfusion", duration=duration, seed=seed, sanitize=True)
+    fired = totals()
+    reset_totals()
+    if fired["violations"]:
+        raise SystemExit("sanitizer reported %d violations during the "
+                         "calibration run" % fired["violations"])
+    return fired["checks"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of simulated streaming per run")
+    parser.add_argument("--seed", type=int, default=1, help="trace seed")
+    parser.add_argument("--runs", type=int, default=3, help="best-of-N runs")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                        help="max disabled overhead in percent")
+    args = parser.parse_args(argv)
+
+    guard_ns = measure_guard_ns()
+    print("disabled guard cost: %.0f ns/site" % guard_ns)
+
+    activations = count_activations(args.duration, args.seed)
+    print("sanitizer checks fired per %.0fs run: %d" % (args.duration, activations))
+
+    off = best_wall_time(False, args.duration, args.seed, args.runs)
+    on = best_wall_time(True, args.duration, args.seed, args.runs)
+    print("wall time: sanitizer off %.3fs, on %.3fs (+%.1f%%, informational)"
+          % (off, on, (on - off) / off * 100.0))
+
+    bound_s = activations * guard_ns * 1e-9
+    bound_pct = bound_s / off * 100.0
+    print("disabled overhead bound: %d sites x %.0f ns = %.2f ms = %.2f%% of %.3fs"
+          % (activations, guard_ns, bound_s * 1000.0, bound_pct, off))
+
+    if bound_pct > args.threshold:
+        print("FAIL: disabled sanitizer overhead bound %.2f%% exceeds %.1f%%"
+              % (bound_pct, args.threshold))
+        return 1
+    print("OK: disabled sanitizer overhead bound %.2f%% <= %.1f%%"
+          % (bound_pct, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

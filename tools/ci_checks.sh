@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Repo static-analysis + sanitizer CI gate.
+#
+# Three stages, each fail-fast:
+#   1. `repro lint` over the whole tree (tools/lint rules; exit 1 on any
+#      violation, including unjustified suppressions);
+#   2. the linter/sanitizer self-tests plus the protocol-heavy slice of
+#      the suite re-run with REPRO_SANITIZE=1, so every transmit, range
+#      build, recovery plan, decode, and state transition in those runs
+#      is checked against the paper's invariants;
+#   3. the disabled-overhead gates: both the telemetry layer and the
+#      sanitizer must keep their off-mode cost bound under 5 % of the
+#      streaming hot path.
+#
+# Usage: tools/ci_checks.sh [--fast]
+#   --fast skips stage 3 (the overhead micro-benchmarks).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+echo "== stage 1: repro lint =============================================="
+python -m tools.lint
+
+echo "== stage 2a: linter + sanitizer self-tests =========================="
+python -m pytest tests/test_lint.py tests/test_sanitizer.py -q
+
+echo "== stage 2b: integration slice with REPRO_SANITIZE=1 ================"
+REPRO_SANITIZE=1 python -m pytest -q \
+    tests/test_integration.py \
+    tests/test_xnc_endpoint.py \
+    tests/test_transport_base.py \
+    tests/test_ranges.py \
+    tests/test_recovery.py \
+    tests/test_rlnc.py \
+    tests/test_connection.py \
+    tests/test_runner.py \
+    tests/test_schedulers.py
+
+if [ "$FAST" = "1" ]; then
+    echo "== stage 3 skipped (--fast) ========================================="
+else
+    echo "== stage 3: disabled-overhead gates ================================="
+    python tools/check_sanitizer_overhead.py
+    python tools/check_telemetry_overhead.py
+fi
+
+echo "ci_checks: all stages passed"
