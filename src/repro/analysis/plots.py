@@ -12,8 +12,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
-    "DEFAULT_WIDTH",
-    "DEFAULT_HEIGHT",
     "ascii_series",
     "ascii_cdf",
     "ascii_bars",

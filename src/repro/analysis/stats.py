@@ -19,7 +19,6 @@ __all__ = [
     "reduction_pct",
     "SeriesSummary",
     "per_second_bins",
-    "loss_rate_per_second",
 ]
 
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.frames import XncNcFrame
-from ..core.rlnc import RlncEncoder
+from ..core.rlnc import RlncEncoder, RlncError
 from ..determinism import seeded_rng
 from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop
@@ -149,7 +149,12 @@ class PluribusTunnelClient(TunnelClientBase):
             seed = self._rng.randrange(1, 2 ** 32)
             try:
                 payload = self.encoder.encode(start, count, seed)
-            except Exception:
+            except (RlncError, ValueError):
+                # the block was already released from the pool (or a packet
+                # outgrew the frame width) — repairs for it are moot
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.count("pluribus.repair_encode_failed")
                 return
             frame = XncNcFrame.coded(start, count, seed, payload)
             path = paths[i % len(paths)]

@@ -41,7 +41,6 @@ from .experiments.runner import TRANSPORT_NAMES, run_stream
 from .video.source import VideoConfig
 
 __all__ = [
-    "configure_logging",
     "build_parser",
     "main",
 ]

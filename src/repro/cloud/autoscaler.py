@@ -19,7 +19,6 @@ from .pop import PopNode
 
 __all__ = [
     "AutoscalerPolicy",
-    "ScalingDecision",
     "ProxyAutoscaler",
 ]
 

@@ -22,7 +22,6 @@ __all__ = [
     "HEARTBEAT_TIMEOUT",
     "AuthError",
     "TunnelConfig",
-    "DeviceRecord",
     "Controller",
 ]
 

@@ -25,10 +25,8 @@ from .controller import Controller
 from .pop import PopNode
 
 __all__ = [
-    "DEFAULT_IMPROVEMENT",
     "DEFAULT_HOLD",
     "SWITCHOVER_GAP",
-    "MigrationEvent",
     "MigrationManager",
     "drive_with_migration",
 ]

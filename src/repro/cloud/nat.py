@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 __all__ = [
-    "FlowKey",
     "NatError",
     "SnatTable",
     "TunAddressPool",

@@ -12,8 +12,6 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 __all__ = [
-    "FIBRE_DELAY_PER_KM",
-    "LAST_MILE_DELAY",
     "PopNode",
     "default_pop_grid",
 ]

@@ -15,8 +15,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = [
-    "DEFAULT_TIMER_GRANULARITY",
-    "DEFAULT_INITIAL_RTT",
     "pto_interval",
     "QoeLossPolicy",
     "SentPacketRecord",

@@ -34,13 +34,10 @@ from .coefficients import coefficient_vector
 from .gf256 import gf_addmul_scalar_buffer, gf_addmul_vec, gf_inv, gf_mul_vec
 
 __all__ = [
-    "LENGTH_PREFIX_SIZE",
-    "MAX_RANGE_PACKETS",
     "RlncError",
     "UnknownPacketError",
     "frame_payload",
     "unframe_payload",
-    "PooledPacket",
     "RlncEncoder",
     "DecodeStats",
     "RlncDecoder",

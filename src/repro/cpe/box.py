@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cloud.controller import Controller, TunnelConfig
-from ..cloud.nat import SnatTable
+from ..cloud.nat import NatError, SnatTable
 from ..cloud.pop import PopNode
 from ..netstack.ip import IpError, Ipv4Packet, PROTO_UDP, UDP_HEADER, UDP_HEADER_SIZE
 from .modem import CellularModem, default_modem_bank
@@ -23,7 +23,6 @@ from .tun import TunInterface
 __all__ = [
     "PEAK_POWER_W",
     "STANDBY_POWER_W",
-    "CpuSubsystem",
     "CpeStats",
     "CpeBox",
 ]
@@ -180,7 +179,8 @@ class CpeBox:
         sport, dport, length, _c = UDP_HEADER.unpack_from(packet.payload)
         try:
             lan_ip, lan_port = self._snat.reverse(PROTO_UDP, dport)
-        except Exception:
+        except NatError:
+            # not one of ours (no SNAT mapping): deliver unmodified
             return ip_bytes
         udp = UDP_HEADER.pack(sport, lan_port, length, 0) + packet.payload[UDP_HEADER_SIZE:]
         return Ipv4Packet(

@@ -17,7 +17,6 @@ import numpy as np
 from ..emulation.cellular import CellularTrace, generate_cellular_trace
 
 __all__ = [
-    "ModemModel",
     "RM500Q_GL",
     "EP06_E",
     "CellularModem",

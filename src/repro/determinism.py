@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import zlib
 
-__all__ = ["derive_seed", "seeded_rng"]
+__all__ = ["seeded_rng"]
 
 
 def derive_seed(seed: int, *components) -> int:

@@ -36,8 +36,6 @@ import numpy as np
 from .trace import LinkTrace, LossProcess, opportunities_from_capacity
 
 __all__ = [
-    "RF_SAMPLE_INTERVAL",
-    "TechnologyProfile",
     "PROFILE_5G",
     "PROFILE_LTE",
     "PROFILE_LEO_SAT",

@@ -24,7 +24,6 @@ from .link import DEFAULT_QUEUE_LIMIT_BYTES, EmulatedLink, LinkStats
 from .trace import LinkTrace
 
 __all__ = [
-    "PathChannel",
     "MultipathEmulator",
 ]
 

@@ -15,7 +15,6 @@ from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = [
     "SimulationError",
-    "EventHandle",
     "EventLoop",
     "PeriodicTimer",
 ]

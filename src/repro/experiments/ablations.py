@@ -28,7 +28,6 @@ from .runner import run_stream
 
 __all__ = [
     "HARSH_SEEDS",
-    "AblationPoint",
     "ROW_HEADERS",
     "sweep_extra_packets",
     "sweep_rho",

@@ -25,8 +25,6 @@ from ..video.source import VideoConfig
 from .runner import run_stream
 
 __all__ = [
-    "VehicleDayRecord",
-    "DeploymentReport",
     "simulate_deployment",
 ]
 

@@ -24,21 +24,14 @@ from ..video.source import VideoConfig
 from .runner import StreamRunResult, run_single_link_stream, run_stream
 
 __all__ = [
-    "DEFAULT_DURATION",
-    "DEFAULT_SEEDS",
-    "SingleLinkResult",
     "fig3_single_link",
-    "FrameTimeline",
     "fig8_frame_timeline",
-    "ComparisonResult",
     "compare_transports",
     "fig9_road_test",
-    "DelayCdfResult",
     "fig10a_delay_cdf",
     "fig10b_redundancy",
     "fig11_schedulers",
     "fig12_pluribus",
-    "AblationResult",
     "fig13a_qrlnc_ablation",
     "fig13b_loss_detection_ablation",
 ]

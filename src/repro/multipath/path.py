@@ -16,7 +16,6 @@ from ..quic.cc.bbr import BbrController
 from ..quic.rtt import RttEstimator
 
 __all__ = [
-    "PATH_FAILURE_PTOS",
     "PathState",
     "PathManager",
 ]

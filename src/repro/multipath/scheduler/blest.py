@@ -21,7 +21,6 @@ from ..path import PathState
 from .base import Scheduler
 
 __all__ = [
-    "BLOCKING_MARGIN",
     "BlestScheduler",
 ]
 

@@ -17,7 +17,6 @@ from ..path import PathState
 from .base import Scheduler
 
 __all__ = [
-    "ECF_BETA",
     "EcfScheduler",
 ]
 

@@ -20,7 +20,6 @@ from ..path import PathState
 from .base import Scheduler
 
 __all__ = [
-    "RISK_RTT_RATIO",
     "XlinkScheduler",
 ]
 

@@ -15,14 +15,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
-    "IPV4_HEADER",
-    "IPV4_HEADER_SIZE",
     "UDP_HEADER",
     "UDP_HEADER_SIZE",
     "PROTO_UDP",
-    "PROTO_TCP",
     "FLAG_DF",
-    "FLAG_MF",
     "IpError",
     "checksum16",
     "ip_to_bytes",

@@ -23,10 +23,6 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
-    "DEFAULT_GROWTH",
-    "DEFAULT_MIN_VALUE",
-    "Counter",
-    "Gauge",
     "Histogram",
     "MetricsRegistry",
 ]

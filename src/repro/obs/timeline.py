@@ -17,7 +17,6 @@ from typing import Dict, List, Optional
 __all__ = [
     "DEFAULT_SAMPLE_INTERVAL",
     "PathSample",
-    "sample_path",
     "PathTimelineSampler",
 ]
 

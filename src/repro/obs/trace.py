@@ -32,9 +32,6 @@ __all__ = [
     "RECOVERY_TX",
     "DECODED",
     "EXPIRED",
-    "LINK_DROP",
-    "EVENT_KINDS",
-    "TraceEvent",
     "TraceBuffer",
     "write_jsonl",
     "read_jsonl",

@@ -25,14 +25,6 @@ from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
 
 __all__ = [
     "STARTUP_GAIN",
-    "DRAIN_GAIN",
-    "PROBE_BW_GAINS",
-    "MIN_RTT_WINDOW",
-    "PROBE_RTT_DURATION",
-    "PROBE_RTT_CWND_PACKETS",
-    "BW_FILTER_ROUNDS",
-    "STARTUP_FULL_BW_THRESHOLD",
-    "STARTUP_FULL_BW_ROUNDS",
     "BbrController",
 ]
 

@@ -25,9 +25,7 @@ from typing import Optional
 from .base import CongestionController, INITIAL_WINDOW, MIN_WINDOW
 
 __all__ = [
-    "CUBIC_C",
     "CUBIC_BETA",
-    "FAST_CONVERGENCE",
     "CubicController",
 ]
 

@@ -29,10 +29,8 @@ from ..sanitizer import sanitizer_or_default
 
 __all__ = [
     "XNC_PRNG_MINSTD",
-    "IDLE_TIMER_GRANULARITY",
     "HandshakeError",
     "TransportParameters",
-    "ConnectionId",
     "ConnectionIdManager",
     "QuicConnection",
     "establish_tunnel_connection",

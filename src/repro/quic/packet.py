@@ -15,15 +15,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..core.frames import XncNcFrame
 
 __all__ = [
-    "IP_HEADER_SIZE",
-    "UDP_HEADER_SIZE",
-    "QUIC_HEADER_SIZE",
     "TUNNEL_OVERHEAD",
-    "DEVICE_MTU",
-    "TUN_MTU",
     "AckFrame",
     "PingFrame",
-    "Frame",
     "QuicPacket",
 ]
 

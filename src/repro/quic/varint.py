@@ -7,7 +7,6 @@ length: 00 -> 1 byte, 01 -> 2, 10 -> 4, 11 -> 8.  Values up to 2^62 - 1.
 from __future__ import annotations
 
 __all__ = [
-    "VARINT_MAX",
     "VarintError",
     "encode_varint",
     "decode_varint",

@@ -34,13 +34,6 @@ from .packet import AckFrame, PingFrame, QuicPacket
 from .varint import decode_varint, encode_varint
 
 __all__ = [
-    "FRAME_PING",
-    "FRAME_ACK",
-    "HEADER_FLAGS",
-    "DCID_LEN",
-    "PN_LEN",
-    "AEAD_TAG_LEN",
-    "ACK_DELAY_UNIT",
     "WireError",
     "serialize_packet",
     "ParsedPacket",

@@ -36,11 +36,6 @@ from ..quic.packet import AckFrame, QuicPacket
 from ..sanitizer import sanitizer_or_default
 
 __all__ = [
-    "PACKET_REORDER_THRESHOLD",
-    "TIME_THRESHOLD_FACTOR",
-    "MAX_ACK_DELAY",
-    "CLIENT_TICK",
-    "INGRESS_QUEUE_LIMIT",
     "AppPacket",
     "SentInfo",
     "ClientStats",

@@ -21,8 +21,6 @@ from .receiver import FrameRecord
 
 __all__ = [
     "PlayoutPolicy",
-    "PlayoutEvent",
-    "PlayoutReport",
     "simulate_playout",
     "minimum_clean_playout_delay",
 ]

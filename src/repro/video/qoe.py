@@ -29,11 +29,7 @@ from .receiver import FrameRecord
 __all__ = [
     "STALL_THRESHOLD",
     "SSIM_FULL",
-    "SSIM_FREEZE_DECAY",
-    "SSIM_FLOOR",
     "DECODE_MIN_FRACTION",
-    "BLOCKY_EXPONENT",
-    "PROPAGATION_PENALTY",
     "QoeReport",
     "analyze_qoe",
 ]

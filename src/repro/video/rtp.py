@@ -20,11 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 __all__ = [
-    "RTP_VERSION",
-    "RTP_HEADER",
-    "RTP_HEADER_SIZE",
     "EXTENSION_PROFILE",
-    "EXTENSION_SIZE",
     "DEFAULT_PAYLOAD_TYPE",
     "VIDEO_CLOCK_HZ",
     "RtpError",

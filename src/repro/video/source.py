@@ -21,9 +21,6 @@ from ..emulation.events import EventLoop, PeriodicTimer
 
 __all__ = [
     "PACKET_HEADER",
-    "HEADER_MAGIC",
-    "FLAG_KEYFRAME",
-    "DEFAULT_PACKET_PAYLOAD",
     "VideoPacketError",
     "VideoPacket",
     "build_packet",

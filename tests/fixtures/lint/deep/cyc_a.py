@@ -1,0 +1,5 @@
+"""Planted top-level import cycle (half A) for the deep lint self-test."""
+
+from . import cyc_b  # noqa: F401  # PLANT: import-cycle
+
+__all__ = []

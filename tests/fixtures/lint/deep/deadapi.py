@@ -1,0 +1,14 @@
+"""Planted dead public export: ghost_export is in __all__ but unused."""
+
+__all__ = [
+    "used_helper",
+    "ghost_export",  # PLANT: dead-public-api
+]
+
+
+def used_helper():
+    return 1
+
+
+def ghost_export():
+    return 2

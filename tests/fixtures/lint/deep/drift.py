@@ -1,0 +1,13 @@
+"""Planted paper-constant drift: expiry and rho off the XNC contract."""
+
+from dataclasses import dataclass
+
+__all__ = []
+
+DEFAULT_EXPIRY = 0.5  # PLANT: constant-drift
+
+
+@dataclass
+class DriftedConfig:
+    rho: float = 1.5  # PLANT: constant-drift
+    t_expire: float = 0.700  # matches the contract: no violation

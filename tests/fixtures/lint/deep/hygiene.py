@@ -1,0 +1,26 @@
+"""Planted exception-hygiene breach plus the two compliant shapes."""
+
+__all__ = []
+
+
+def swallows_everything(risky):
+    try:
+        return risky()
+    except Exception:  # PLANT: except-hygiene
+        return None
+
+
+def narrow_is_fine(risky):
+    try:
+        return risky()
+    except ValueError:
+        return None
+
+
+def recording_is_fine(tel, risky):
+    try:
+        return risky()
+    except Exception:
+        if tel.enabled:
+            tel.count("fixture.swallowed")
+        return None

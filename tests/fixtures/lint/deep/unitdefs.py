@@ -1,0 +1,7 @@
+"""Unit-bearing callees for the unit-mix fixture (timeout is sim-seconds)."""
+
+__all__ = ["wait_for"]
+
+
+def wait_for(timeout):
+    return timeout

@@ -1,0 +1,23 @@
+"""Planted units-of-measure conflicts: arithmetic, compare, call-arg, table."""
+
+from .unitdefs import wait_for
+
+__all__ = []
+
+
+def arithmetic_mix(delay_ms, deadline):
+    return delay_ms + deadline  # PLANT: unit-mix
+
+
+def comparison_mix(size_bytes, budget_packets):
+    return size_bytes > budget_packets  # PLANT: unit-mix
+
+
+def call_argument_mix(delay_ms):
+    wait_for(delay_ms)  # PLANT: unit-mix
+
+
+def annotation_table_mix(length, n_packets):
+    # ``length`` carries no suffix: its bytes unit comes from the explicit
+    # annotation table (UNIT_ANNOTATIONS) — the ambiguous-name escape hatch
+    return length > n_packets  # PLANT: unit-mix

@@ -1,0 +1,7 @@
+"""Consumer module: keeps deadapi.used_helper alive (and only it)."""
+
+from .deadapi import used_helper
+
+__all__ = []
+
+RESULT = used_helper()

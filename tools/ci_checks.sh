@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Repo static-analysis + sanitizer CI gate.
 #
-# Three stages, each fail-fast:
+# Four stages, each fail-fast:
 #   1. `repro lint` over the whole tree (tools/lint rules; exit 1 on any
 #      violation, including unjustified suppressions);
+#   1b. `repro lint --deep` — the whole-program pass (import graph, units
+#      dataflow, paper-constants registry) emitting SARIF for CI
+#      annotation, with a 10 s wall-clock budget so the deep pass can
+#      never become the slow stage;
 #   2. the linter/sanitizer self-tests plus the protocol-heavy slice of
 #      the suite re-run with REPRO_SANITIZE=1, so every transmit, range
 #      build, recovery plan, decode, and state transition in those runs
@@ -26,8 +30,24 @@ FAST=0
 echo "== stage 1: repro lint =============================================="
 python -m tools.lint
 
+echo "== stage 1b: repro lint --deep (SARIF, 10 s budget) ================="
+SARIF_OUT="${SARIF_OUT:-lint-deep.sarif}"
+t0=$(date +%s%N)
+if ! python -m tools.lint --deep --format sarif > "$SARIF_OUT"; then
+    echo "deep lint found violations:" >&2
+    python -m tools.lint --deep >&2 || true
+    exit 1
+fi
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "deep pass clean in ${elapsed_ms} ms -> ${SARIF_OUT}"
+if [ "$elapsed_ms" -ge 10000 ]; then
+    echo "deep lint blew its 10 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+
 echo "== stage 2a: linter + sanitizer self-tests =========================="
-python -m pytest tests/test_lint.py tests/test_sanitizer.py -q
+python -m pytest tests/test_lint.py tests/test_deep_lint.py tests/test_sanitizer.py -q
 
 echo "== stage 2b: integration slice with REPRO_SANITIZE=1 ================"
 REPRO_SANITIZE=1 python -m pytest -q \

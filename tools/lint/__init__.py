@@ -1,33 +1,42 @@
 """repro-lint: the repo-native static analyzer.
 
 Run it as ``python -m tools.lint`` from the repo root, or via the
-``repro lint`` CLI subcommand.  See ``docs/static-analysis.md`` for the
-rule catalogue and extension guide.
+``repro lint`` CLI subcommand.  ``--deep`` adds the whole-program pass
+(import graph, units-of-measure dataflow, paper-constants registry).
+See ``docs/static-analysis.md`` for the rule catalogue and extension
+guide.
 """
 
 from .engine import (
+    DeepRule,
     ModuleSource,
     Rule,
     Violation,
+    all_deep_rules,
     all_rules,
     format_human,
     format_json,
+    format_sarif,
     iter_py_files,
     lint_paths,
     register,
 )
 from . import rules as _rules  # noqa: F401 -- importing registers the rule set
+from . import xrules as _xrules  # noqa: F401 -- deep rules register here
 
 #: Default lint targets, relative to the repo root.
 DEFAULT_TARGETS = ("src/repro", "tools", "tests", "benchmarks", "examples")
 
 __all__ = [
+    "DeepRule",
     "ModuleSource",
     "Rule",
     "Violation",
+    "all_deep_rules",
     "all_rules",
     "format_human",
     "format_json",
+    "format_sarif",
     "iter_py_files",
     "lint_paths",
     "register",
@@ -47,8 +56,15 @@ def main(argv=None, root=None) -> int:
                         help="files/directories relative to the repo root "
                              "(default: %s)" % ", ".join(DEFAULT_TARGETS))
     parser.add_argument("--root", default=None, help="repo root (default: auto-detect)")
+    parser.add_argument("--deep", action="store_true",
+                        help="add the whole-program pass: import graph, "
+                             "units dataflow, paper-constants registry")
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
+                        default=None, dest="fmt",
+                        help="output format (default: human)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable JSON output")
+                        help="machine-readable JSON output (same as "
+                             "--format json)")
     parser.add_argument("--rule", action="append", dest="rule_ids", metavar="ID",
                         help="run only this rule (repeatable)")
     parser.add_argument("--all-rules", action="store_true",
@@ -61,8 +77,12 @@ def main(argv=None, root=None) -> int:
         for rule in all_rules():
             scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
             print("%-20s [%s] %s" % (rule.id, scope, rule.description))
+        for rule in all_deep_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
+            print("%-20s [deep; %s] %s" % (rule.id, scope, rule.description))
         return 0
 
+    fmt = args.fmt or ("json" if args.as_json else "human")
     base = Path(args.root) if args.root else (Path(root) if root else _find_root())
     if base is None:
         print("repro lint: cannot locate the repo root (looked for tools/lint "
@@ -70,8 +90,14 @@ def main(argv=None, root=None) -> int:
         return 2
     targets = args.targets or list(DEFAULT_TARGETS)
     violations = lint_paths(base, targets, rule_ids=args.rule_ids,
-                            all_rules_everywhere=args.all_rules)
-    print(format_json(violations) if args.as_json else format_human(violations))
+                            all_rules_everywhere=args.all_rules,
+                            deep=args.deep)
+    if fmt == "json":
+        print(format_json(violations))
+    elif fmt == "sarif":
+        print(format_sarif(violations))
+    else:
+        print(format_human(violations))
     return 1 if violations else 0
 
 

@@ -1,10 +1,21 @@
 """Zero-dependency AST lint engine with repo-native rules.
 
-The engine is deliberately small so a new rule costs ~20 lines:
+The engine hosts **two pass levels** over one parse of the tree:
 
-1. subclass :class:`Rule`, implement ``check(module)`` yielding
+* the **per-file pass** (``repro lint``) — each :class:`Rule` sees one
+  :class:`ModuleSource` at a time;
+* the **deep pass** (``repro lint --deep``) — each :class:`DeepRule`
+  sees the whole-program :class:`~tools.lint.graph.Project` (import
+  graph, symbol table, units dataflow) and yields violations anchored
+  anywhere in the tree.
+
+A new rule costs ~20 lines either way:
+
+1. subclass :class:`Rule` (implement ``check(module)``) or
+   :class:`DeepRule` (implement ``check_project(project)``), yielding
    :class:`Violation` objects;
-2. decorate it with :func:`register`.
+2. decorate it with :func:`register` — the registry sorts the rule into
+   the right pass automatically.
 
 Scoping, suppression, and output are engine concerns:
 
@@ -20,8 +31,9 @@ Scoping, suppression, and output are engine concerns:
   The justification after ``--`` is mandatory: a bare ``disable`` is
   itself reported (rule id ``bare-suppression``), so every waiver in the
   tree carries its reason.  Several ids may be listed, comma-separated.
-* **output** — human one-per-line (``path:line:col: id message``) or
-  ``--json`` (a list of violation dicts), exit status 1 iff anything
+* **output** — human one-per-line (``path:line:col: id message``),
+  ``--format json`` (a list of violation dicts), or ``--format sarif``
+  (SARIF 2.1.0, for CI annotation surfaces); exit status 1 iff anything
   survived suppression.
 
 Only the standard library is used; the engine must stay importable in a
@@ -42,12 +54,15 @@ __all__ = [
     "Violation",
     "ModuleSource",
     "Rule",
+    "DeepRule",
     "register",
     "all_rules",
+    "all_deep_rules",
     "iter_py_files",
     "lint_paths",
     "format_human",
     "format_json",
+    "format_sarif",
 ]
 
 #: Inline pragma grammar: ``# lint: disable=a,b -- justification``.
@@ -144,21 +159,54 @@ class Rule:
         return Violation(self.id, module.rel, line, col, message)
 
 
+class DeepRule(Rule):
+    """A whole-program rule: sees the Project, not one module.
+
+    ``scopes`` still applies — but to the *path of each violation* the
+    rule yields, so a deep rule can consume references from tests while
+    only reporting findings inside ``src/repro/``.
+    """
+
+    def check(self, module: ModuleSource) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def applies_to_path(self, rel: str) -> bool:
+        rel = rel.replace("\\", "/")
+        if any(rel.startswith(e) for e in self.exempt):
+            return False
+        if not self.scopes:
+            return True
+        return any(rel.startswith(s) for s in self.scopes)
+
+
 _REGISTRY: Dict[str, Rule] = {}
+_DEEP_REGISTRY: Dict[str, DeepRule] = {}
 
 
 def register(cls):
-    """Class decorator adding a rule to the global registry."""
+    """Class decorator adding a rule to the per-file or deep registry."""
     if not cls.id:
         raise ValueError("rule %r needs a non-empty id" % cls)
-    if cls.id in _REGISTRY:
+    if cls.id in _REGISTRY or cls.id in _DEEP_REGISTRY:
         raise ValueError("duplicate rule id %r" % cls.id)
-    _REGISTRY[cls.id] = cls()
+    if issubclass(cls, DeepRule):
+        _DEEP_REGISTRY[cls.id] = cls()
+    else:
+        _REGISTRY[cls.id] = cls()
     return cls
 
 
 def all_rules() -> List[Rule]:
+    """The per-file rule set (the default ``repro lint`` pass)."""
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def all_deep_rules() -> List[DeepRule]:
+    """The whole-program rule set (``repro lint --deep``)."""
+    return [_DEEP_REGISTRY[k] for k in sorted(_DEEP_REGISTRY)]
 
 
 #: Directories never descended into.
@@ -191,21 +239,32 @@ def lint_paths(
     targets: Sequence[str],
     rule_ids: Optional[Sequence[str]] = None,
     all_rules_everywhere: bool = False,
+    deep: bool = False,
 ) -> List[Violation]:
     """Lint every file under ``targets`` (relative to ``root``).
 
     ``rule_ids`` restricts to a subset of rules; ``all_rules_everywhere``
-    drops path scoping (fixture testing).  Suppressed violations are
+    drops path scoping (fixture testing); ``deep`` additionally builds
+    the whole-program :class:`~tools.lint.graph.Project` over the same
+    parse and runs the cross-module rules.  Suppressed violations are
     removed; pragmas lacking a justification are reported as
     ``bare-suppression`` hits.
     """
     rules = all_rules()
+    deep_rules = all_deep_rules() if deep else []
     if rule_ids:
-        unknown = set(rule_ids) - {r.id for r in rules}
+        known = {r.id for r in all_rules()} | {r.id for r in all_deep_rules()}
+        unknown = set(rule_ids) - known
         if unknown:
             raise ValueError("unknown rule ids: %s" % ", ".join(sorted(unknown)))
+        deep_only = set(rule_ids) & {r.id for r in all_deep_rules()}
+        if deep_only and not deep:
+            raise ValueError("deep-only rule ids need --deep: %s"
+                             % ", ".join(sorted(deep_only)))
         rules = [r for r in rules if r.id in set(rule_ids)]
+        deep_rules = [r for r in deep_rules if r.id in set(rule_ids)]
     violations: List[Violation] = []
+    modules: Dict[str, ModuleSource] = {}
     for path, rel in iter_py_files(Path(root), targets):
         try:
             text = path.read_text(encoding="utf-8")
@@ -214,6 +273,7 @@ def lint_paths(
             violations.append(Violation("parse-error", rel, getattr(exc, "lineno", 1) or 1,
                                         0, "cannot parse: %s" % exc))
             continue
+        modules[rel] = module
         for line, (_ids, why) in sorted(module.suppressions.items()):
             if why is None or not why.strip():
                 violations.append(Violation(
@@ -226,6 +286,18 @@ def lint_paths(
             for v in rule.check(module):
                 if not module.suppressed(v.rule, v.line):
                     violations.append(v)
+    if deep_rules and modules:
+        from .graph import Project
+
+        project = Project(modules)
+        for rule in deep_rules:
+            for v in rule.check_project(project):
+                if not all_rules_everywhere and not rule.applies_to_path(v.path):
+                    continue
+                holder = modules.get(v.path)
+                if holder is not None and holder.suppressed(v.rule, v.line):
+                    continue
+                violations.append(v)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations
 
@@ -240,3 +312,52 @@ def format_human(violations: Sequence[Violation]) -> str:
 
 def format_json(violations: Sequence[Violation]) -> str:
     return json.dumps([v.as_dict() for v in violations], indent=2)
+
+
+def format_sarif(violations: Sequence[Violation]) -> str:
+    """SARIF 2.1.0 output: one run, one result per violation.
+
+    The rule catalogue (both pass levels) is embedded as the tool's
+    ``rules`` array so CI annotation surfaces can show descriptions.
+    """
+    catalogue = {r.id: r for r in all_rules() + all_deep_rules()}
+    used = sorted({v.rule for v in violations})
+    rules_meta = []
+    for rule_id in used:
+        rule = catalogue.get(rule_id)
+        rules_meta.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": rule.description if rule is not None else rule_id},
+        })
+    index = {rule_id: i for i, rule_id in enumerate(used)}
+    results = [
+        {
+            "ruleId": v.rule,
+            "ruleIndex": index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path},
+                    "region": {"startLine": v.line,
+                               "startColumn": max(v.col, 0) + 1},
+                },
+            }],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "docs/static-analysis.md",
+                "rules": rules_meta,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)
