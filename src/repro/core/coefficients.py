@@ -16,9 +16,12 @@ implements exactly that convention: index 0 is always 1.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "CoefficientGenerator",
     "coefficient_vector",
+    "coefficient_bytes",
 ]
 
 #: Multiplier/modulus of a Lehmer (MINSTD) generator.  Any PRNG works as
@@ -59,9 +62,21 @@ def coefficient_vector(seed: int, count: int) -> list[int]:
     the leading coefficient is folded to 1.  For ``count == 1`` the seed is
     ignored (the packet is an uncoded original, §4.3.2).
     """
+    return list(coefficient_bytes(seed, count))
+
+
+@lru_cache(maxsize=4096)
+def coefficient_bytes(seed: int, count: int) -> bytes:
+    """:func:`coefficient_vector` as immutable bytes, memoised.
+
+    The encoder derives a vector per coded packet and the decoder re-derives
+    the identical one from the wire header, so each ``(seed, count)`` pair is
+    computed at least twice per recovery — caching halves that, and the bytes
+    form feeds ``numpy.frombuffer``/GF byte kernels with no conversion.
+    """
     if count < 1:
         raise ValueError("count must be >= 1")
     if count == 1:
-        return [1]
+        return b"\x01"
     gen = CoefficientGenerator(seed)
-    return [1] + [gen.next_coefficient() for _ in range(count - 1)]
+    return bytes([1] + [gen.next_coefficient() for _ in range(count - 1)])

@@ -159,10 +159,15 @@ class XncTunnelClient(TunnelClientBase):
         tel = self.telemetry
         for path in self.paths:
             threshold = self.config.loss_policy.threshold(*path.rtt.as_tuple())
-            for info in self.in_flight_infos(path.path_id):
-                if info.is_recovery or info.qoe_fired:
-                    continue
+            # iterate the sent map directly (in_flight_infos would build a
+            # throwaway list per path per tick); nothing below mutates it.
+            # Entries are insertion-ordered by pn with non-decreasing
+            # sent_time, so the first not-yet-overdue packet ends the scan:
+            # everything after it is younger still.
+            for info in self._sent[path.path_id].values():
                 if now - info.sent_time < threshold:
+                    break
+                if info.acked or info.cc_lost or info.is_recovery or info.qoe_fired:
                     continue
                 info.qoe_fired = True
                 for app_id in info.app_ids:

@@ -41,6 +41,11 @@ FRAME_XNC_NC = 0x32
 XNC_HEADER = struct.Struct("!III")
 XNC_HEADER_SIZE = XNC_HEADER.size
 
+#: Whole frame prefix — type byte, u16 body length, XNC_Header — packed in
+#: one struct call on the serialisation hot path.
+_FRAME_PREFIX = struct.Struct("!BHIII")
+_LEN_FIELD = struct.Struct("!H")
+
 
 class FrameError(Exception):
     """Malformed frame bytes."""
@@ -98,25 +103,36 @@ class XncNcFrame:
 
     def encode(self) -> bytes:
         """Serialise as frame-type byte + length + header + payload."""
-        body = self.header.pack() + self.payload
-        return bytes([FRAME_XNC_NC]) + struct.pack("!H", len(body)) + body
+        h = self.header
+        prefix = _FRAME_PREFIX.pack(
+            FRAME_XNC_NC, XNC_HEADER_SIZE + len(self.payload),
+            h.packet_count, h.random_seed, h.start_id)
+        return prefix + self.payload
 
     @classmethod
     def decode(cls, data: bytes) -> tuple["XncNcFrame", int]:
         """Parse one frame from ``data``; returns (frame, bytes consumed)."""
-        if not data:
+        return cls.decode_from(data, 0, len(data))
+
+    @classmethod
+    def decode_from(cls, data: bytes, offset: int, end: int) -> tuple["XncNcFrame", int]:
+        """Parse one frame in place from ``data[offset:end]`` — no copy of
+        the surrounding packet; returns (frame, bytes consumed)."""
+        if offset >= end:
             raise FrameError("empty buffer")
-        if data[0] != FRAME_XNC_NC:
-            raise FrameError("not an XNC_NC frame: type 0x%02x" % data[0])
-        if len(data) < 3:
+        if data[offset] != FRAME_XNC_NC:
+            raise FrameError("not an XNC_NC frame: type 0x%02x" % data[offset])
+        if end - offset < 3:
             raise FrameError("truncated frame length")
-        (length,) = struct.unpack_from("!H", data, 1)
-        end = 3 + length
-        if len(data) < end:
+        (length,) = _LEN_FIELD.unpack_from(data, offset + 1)
+        consumed = 3 + length
+        if offset + consumed > end:
             raise FrameError("truncated frame body")
-        body = data[3:end]
-        header = XncHeader.unpack(body)
-        return cls(header, body[XNC_HEADER_SIZE:]), end
+        if length < XNC_HEADER_SIZE:
+            raise FrameError("truncated XNC_Header")
+        count, seed, start = XNC_HEADER.unpack_from(data, offset + 3)
+        payload = bytes(data[offset + 3 + XNC_HEADER_SIZE:offset + consumed])
+        return cls(XncHeader(count, seed, start), payload), consumed
 
     @property
     def wire_size(self) -> int:

@@ -29,6 +29,8 @@ __all__ = [
     "gf_pow",
     "gf_mul_vec",
     "gf_addmul_vec",
+    "gf_mul_bytes",
+    "gf_addmul_bytes",
     "gf_mul_scalar_buffer",
     "gf_addmul_scalar_buffer",
     "gf_matrix_rank",
@@ -112,12 +114,31 @@ def gf_pow(a: int, n: int) -> int:
     return int(_EXP[(_LOG[a] * n) % 255])
 
 
+#: Below this many bytes the ``bytes.translate`` path beats numpy fancy
+#: indexing (fixed ufunc dispatch overhead dominates tiny arrays).
+_SMALL_BUFFER_LIMIT = 256
+
+#: Lazily-memoised 256-byte translation tables, one per coefficient — the
+#: row ``_MUL_TABLE[coeff]`` exported once as bytes for ``bytes.translate``.
+_TRANSLATE_TABLES: dict = {}
+
+
+def _translate_table(coeff: int) -> bytes:
+    table = _TRANSLATE_TABLES.get(coeff)
+    if table is None:
+        table = _TRANSLATE_TABLES[coeff] = _MUL_TABLE[coeff].tobytes()
+    return table
+
+
 def gf_mul_vec(data: np.ndarray, coeff: int) -> np.ndarray:
     """Multiply every byte of ``data`` by ``coeff`` (vectorised path)."""
     if coeff == 0:
         return np.zeros_like(data)
     if coeff == 1:
         return data.copy()
+    if data.ndim == 1 and data.size < _SMALL_BUFFER_LIMIT:
+        product = data.tobytes().translate(_translate_table(coeff))
+        return np.frombuffer(bytearray(product), dtype=np.uint8)
     return _MUL_TABLE[coeff][data]
 
 
@@ -132,7 +153,40 @@ def gf_addmul_vec(acc: np.ndarray, data: np.ndarray, coeff: int) -> None:
     if coeff == 1:
         np.bitwise_xor(acc, data, out=acc)
         return
+    if acc.ndim == 1 and acc.size < _SMALL_BUFFER_LIMIT:
+        n = acc.size
+        product = data.tobytes().translate(_translate_table(coeff))
+        mixed = int.from_bytes(acc.tobytes(), "little") ^ int.from_bytes(product, "little")
+        acc[...] = np.frombuffer(mixed.to_bytes(n, "little"), dtype=np.uint8)
+        return
     np.bitwise_xor(acc, _MUL_TABLE[coeff][data], out=acc)
+
+
+def gf_mul_bytes(data: bytes, coeff: int) -> bytes:
+    """``coeff * data`` over a byte string (small-buffer fast path).
+
+    One C-level ``bytes.translate`` against the cached multiplication row;
+    the preferred kernel for coefficient vectors and short payloads.
+    """
+    if coeff == 0:
+        return bytes(len(data))
+    if coeff == 1:
+        return bytes(data)
+    return data.translate(_translate_table(coeff))
+
+
+def gf_addmul_bytes(acc: bytes, data: bytes, coeff: int) -> bytes:
+    """Return ``acc ^ coeff * data`` over byte strings of equal length."""
+    if len(acc) != len(data):
+        raise ValueError("acc/data length mismatch")
+    if coeff == 0:
+        return bytes(acc)
+    if coeff == 1:
+        product = data
+    else:
+        product = data.translate(_translate_table(coeff))
+    mixed = int.from_bytes(acc, "little") ^ int.from_bytes(product, "little")
+    return mixed.to_bytes(len(acc), "little")
 
 
 def gf_mul_scalar_buffer(data: bytes, coeff: int) -> bytes:

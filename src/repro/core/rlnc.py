@@ -30,7 +30,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from .coefficients import coefficient_vector
+from .coefficients import coefficient_bytes
 from .gf256 import gf_addmul_scalar_buffer, gf_addmul_vec, gf_inv, gf_mul_vec
 
 __all__ = [
@@ -59,17 +59,19 @@ class UnknownPacketError(RlncError):
     """An encode referenced a packet ID absent from the pool."""
 
 
-def _frame(payload: bytes, width: int) -> np.ndarray:
+def _frame_bytes(payload: bytes, width: int) -> bytes:
     """Length-prefix and zero-pad ``payload`` to ``width`` bytes."""
     framed_len = len(payload) + LENGTH_PREFIX_SIZE
     if framed_len > width:
         raise ValueError("payload longer than frame width")
-    out = np.zeros(width, dtype=np.uint8)
-    out[0] = len(payload) >> 8
-    out[1] = len(payload) & 0xFF
-    if payload:
-        out[2:framed_len] = np.frombuffer(payload, dtype=np.uint8)
-    return out
+    if framed_len == width:
+        return len(payload).to_bytes(2, "big") + payload
+    return len(payload).to_bytes(2, "big") + payload + b"\x00" * (width - framed_len)
+
+
+def _frame(payload: bytes, width: int) -> np.ndarray:
+    """:func:`_frame_bytes` as a (read-only) uint8 array."""
+    return np.frombuffer(_frame_bytes(payload, width), dtype=np.uint8)
 
 
 def _unframe(row: np.ndarray) -> bytes:
@@ -86,12 +88,20 @@ def frame_payload(payload: bytes) -> bytes:
     Used by non-coding transports (reliable tunnels, bonding) so their
     wire format matches XNC's original-packet frames byte for byte.
     """
-    return _frame(payload, len(payload) + LENGTH_PREFIX_SIZE).tobytes()
+    return len(payload).to_bytes(2, "big") + payload
 
 
 def unframe_payload(data: bytes) -> bytes:
     """Inverse of :func:`frame_payload` (tolerates trailing padding)."""
-    return _unframe(np.frombuffer(data, dtype=np.uint8))
+    return _unframe_bytes(data)
+
+
+def _unframe_bytes(data: bytes) -> bytes:
+    """Pure-bytes :func:`_unframe` for the systematic (count == 1) path."""
+    length = (data[0] << 8) | data[1]
+    if length + LENGTH_PREFIX_SIZE > len(data):
+        raise RlncError("corrupt recovered packet: bad length prefix")
+    return bytes(data[2:2 + length])
 
 
 @dataclass
@@ -157,8 +167,15 @@ class RlncEncoder:
         """
         if not 1 <= count <= MAX_RANGE_PACKETS:
             raise ValueError("count out of range")
+        if count == 1:
+            # systematic fast path: coeff vector is always [1], the framed
+            # original needs no padding — skip the GF machinery entirely
+            pkt = self._pool.get(start_id)
+            if pkt is None:
+                raise UnknownPacketError("packet %d not in encoder pool" % start_id)
+            return len(pkt.payload).to_bytes(2, "big") + pkt.payload
         width = self._range_width(start_id, count)
-        coeffs = coefficient_vector(seed, count)
+        coeffs = coefficient_bytes(seed, count)
         if self.simd:
             acc = np.zeros(width, dtype=np.uint8)
             for i, coeff in enumerate(coeffs):
@@ -326,8 +343,7 @@ class RlncDecoder:
         out: List[Tuple[int, bytes]] = []
         if count == 1:
             self.stats.originals_received += 1
-            row = np.frombuffer(payload, dtype=np.uint8)
-            original = _unframe(row)
+            original = _unframe_bytes(payload)
             self._deliver(start_id, original, out)
             self._cross_feed_original(start_id, original, out)
             return out
@@ -348,7 +364,7 @@ class RlncDecoder:
                 vec[pid - start_id] = 1
                 rng.add_equation(vec, _frame(known, len(known) + LENGTH_PREFIX_SIZE))
 
-        coeffs = np.array(coefficient_vector(seed, count), dtype=np.uint8)
+        coeffs = np.frombuffer(coefficient_bytes(seed, count), dtype=np.uint8)
         added = rng.add_equation(coeffs, np.frombuffer(payload, dtype=np.uint8))
         if not added:
             self.stats.dependent_discarded += 1

@@ -4,14 +4,23 @@ Everything in the reproduction — links, transports, video sources, timers —
 runs on one :class:`EventLoop`.  Time is a float in seconds.  The loop is a
 plain binary heap with cancellable handles; ties are broken by insertion
 order so runs are fully deterministic for a given seed.
+
+Heap entries are bare ``[time, order, callback, args]`` lists rather than
+objects: the ``order`` field is unique, so heap comparisons resolve on the
+first two (C-compared) elements and never reach the callback.  Cancelling
+an event nulls its callback in place; the dead entry stays in the heap
+until it surfaces — *or* until cancelled entries pile up, at which point
+the heap is compacted in one linear pass (``_COMPACT_MIN`` live threshold,
+then whenever dead entries outnumber live ones).  Without compaction a
+cancel-heavy workload — timer re-arming, retransmission races — grows the
+heap without bound even though almost nothing in it will ever fire.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 __all__ = [
     "SimulationError",
@@ -19,39 +28,43 @@ __all__ = [
     "PeriodicTimer",
 ]
 
+# entry layout: [time, order, callback, args]; callback None == cancelled
+_TIME, _ORDER, _CALLBACK, _ARGS = 0, 1, 2, 3
+
+#: Compaction never triggers below this many cancelled entries — small
+#: heaps are cheap to carry and the O(n) sweep would dominate.
+_COMPACT_MIN = 64
+
 
 class SimulationError(Exception):
     """Raised for invalid scheduling (e.g. events in the past)."""
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    order: int
-    callback: Optional[Callable] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-
-
 class EventHandle:
     """Cancellation handle returned by :meth:`EventLoop.schedule`."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, entry: _Entry):
+    def __init__(self, entry: list, loop: "EventLoop"):
         self._entry = entry
+        self._loop = loop
 
     @property
     def time(self) -> float:
-        return self._entry.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.callback is None
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
-        """Cancel the event; safe to call more than once."""
-        self._entry.callback = None
-        self._entry.args = ()
+        """Cancel the event; safe to call more than once (or after firing)."""
+        entry = self._entry
+        if entry[_CALLBACK] is None:
+            return
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
+        self._loop._note_cancelled()
 
 
 class EventLoop:
@@ -59,8 +72,9 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0):
         self._now = start_time
-        self._heap: List[_Entry] = []
+        self._heap: List[list] = []
         self._counter = itertools.count()
+        self._cancelled = 0
         self.events_processed = 0
 
     @property
@@ -68,13 +82,25 @@ class EventLoop:
         """Current simulation time in seconds."""
         return self._now
 
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled
+
+    def heap_size(self) -> int:
+        """Physical heap length, dead entries included (observability)."""
+        return len(self._heap)
+
     def schedule(self, when: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
-        if when < self._now - 1e-12:
-            raise SimulationError("cannot schedule event at %.6f before now %.6f" % (when, self._now))
-        entry = _Entry(max(when, self._now), next(self._counter), callback, args)
+        now = self._now
+        if when < now:
+            if when < now - 1e-12:
+                raise SimulationError(
+                    "cannot schedule event at %.6f before now %.6f" % (when, now))
+            when = now
+        entry = [when, next(self._counter), callback, args]
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def call_later(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
@@ -82,38 +108,80 @@ class EventLoop:
             raise SimulationError("negative delay %r" % delay)
         return self.schedule(self._now + delay, callback, *args)
 
-    def _pop_live(self) -> Optional[_Entry]:
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.callback is not None:
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        # compact when dead entries dominate: amortised O(1) per cancel,
+        # keeps the heap within 2x of its live size
+        if self._cancelled >= _COMPACT_MIN and self._cancelled * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (preserves (time, order)).
+
+        In place: run_until holds a local reference to the heap list across
+        callbacks, and a callback may cancel its way into a compaction.
+        """
+        live = [e for e in self._heap if e[_CALLBACK] is not None]
+        heapq.heapify(live)
+        self._heap[:] = live
+        self._cancelled = 0
+
+    def _pop_live(self) -> Optional[list]:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[_CALLBACK] is not None:
                 return entry
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when the queue is empty."""
-        while self._heap and self._heap[0].callback is None:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][_TIME] if heap else None
 
     def step(self) -> bool:
         """Run one event; returns False when the queue is empty."""
         entry = self._pop_live()
         if entry is None:
             return False
-        self._now = entry.time
-        callback, args = entry.callback, entry.args
-        entry.callback = None
+        self._now = entry[_TIME]
+        callback, args = entry[_CALLBACK], entry[_ARGS]
+        # null the popped entry so a late cancel() through a kept handle is
+        # a no-op (and is not double-counted against the heap)
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
         self.events_processed += 1
         callback(*args)
         return True
 
     def run_until(self, end_time: float) -> None:
-        """Run events up to and including ``end_time``, then advance to it."""
-        while True:
-            t = self.peek_time()
-            if t is None or t > end_time:
+        """Run events up to and including ``end_time``, then advance to it.
+
+        This is the simulation's innermost loop (every event of every run
+        goes through it), so the peek/pop sequence is fused inline rather
+        than paying two method calls per event via peek_time()/step().
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[_CALLBACK] is None:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            when = head[_TIME]
+            if when > end_time:
                 break
-            self.step()
+            entry = heapq.heappop(heap)
+            self._now = when
+            callback, args = entry[_CALLBACK], entry[_ARGS]
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
+            self.events_processed += 1
+            callback(*args)
         self._now = max(self._now, end_time)
 
     def run(self, max_events: int = 50_000_000) -> None:

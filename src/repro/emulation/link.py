@@ -13,11 +13,10 @@ seconds of delay — exactly the behaviour measured in Fig. 3(c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Optional
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Callable, Deque
 from collections import deque
-
-import numpy as np
 
 from ..determinism import seeded_rng
 from .events import EventLoop
@@ -100,14 +99,18 @@ class EmulatedLink:
         self._queue: Deque[_Queued] = deque()
         self._queue_bytes = 0
         self._drain_scheduled = False
-        # opportunity cursor: epoch * duration + opportunities[index]
+        # opportunity cursor: epoch * duration + opportunities[index].
+        # The trace array is mirrored into a plain list once — the cursor
+        # advances per drained packet, and list indexing + bisect beat
+        # numpy scalar access there (same float64 values, identical times)
         self._opp_index = 0
         self._epoch = 0
-        if trace.opportunities.size == 0:
-            # a dead link: packets only ever drop at the queue limit
-            self._dead = True
-        else:
-            self._dead = False
+        self._opps = trace.opportunities.tolist()
+        self._duration = float(trace.duration)
+        self._base_delay = float(trace.base_delay)
+        self._loss = trace.loss
+        # a dead link: packets only ever drop at the queue limit
+        self._dead = not self._opps
 
     @property
     def queue_bytes(self) -> int:
@@ -123,8 +126,9 @@ class EmulatedLink:
 
     def _next_opportunity(self, after: float) -> float:
         """Absolute time of the next delivery opportunity >= ``after``."""
-        opps = self.trace.opportunities
-        duration = self.trace.duration
+        opps = self._opps
+        n = len(opps)
+        duration = self._duration
         # jump straight to the epoch containing ``after``
         target_epoch = int(after // duration)
         if target_epoch > self._epoch:
@@ -132,7 +136,7 @@ class EmulatedLink:
             self._opp_index = 0
         while True:
             base = self._epoch * duration
-            if self._opp_index >= opps.size:
+            if self._opp_index >= n:
                 self._epoch += 1
                 self._opp_index = 0
                 continue
@@ -141,8 +145,8 @@ class EmulatedLink:
                 return t
             # advance the cursor with a binary search within this epoch
             local = after - base
-            idx = int(np.searchsorted(opps, local, side="left"))
-            if idx >= opps.size:
+            idx = bisect_left(opps, local)
+            if idx >= n:
                 self._epoch += 1
                 self._opp_index = 0
             else:
@@ -184,7 +188,7 @@ class EmulatedLink:
         self._queue_bytes -= item.size
         lost = False
         if self.loss_enabled:
-            p = self.trace.loss.probability_at(self.loop.now, self.trace.duration)
+            p = self._loss.probability_at(self.loop.now, self._duration)
             if p > 0 and self._rng.random() < p:
                 lost = True
         if lost:
@@ -198,6 +202,6 @@ class EmulatedLink:
         else:
             self.stats.delivered += 1
             self.stats.bytes_delivered += item.size
-            arrive = self.loop.now + self.trace.base_delay
+            arrive = self.loop.now + self._base_delay
             self.loop.schedule(arrive, self.deliver, item.payload, arrive)
         self._schedule_drain()

@@ -16,6 +16,7 @@ everything.
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
@@ -66,6 +67,11 @@ class LossProcess:
             raise TraceError("bucket_times must be strictly increasing")
         if np.any((self.loss_prob < 0) | (self.loss_prob > 1)):
             raise TraceError("loss probabilities must lie in [0, 1]")
+        # plain-list mirrors: probability_at is called once per drained
+        # packet, where bisect over a list beats numpy's scalar searchsorted
+        # (same float64 values, so lookups are bit-identical)
+        self._times = self.bucket_times.tolist()
+        self._probs = self.loss_prob.tolist()
 
     @classmethod
     def zero(cls) -> "LossProcess":
@@ -79,10 +85,10 @@ class LossProcess:
         """Loss probability at time ``t`` (looping if ``duration`` given)."""
         if duration is not None and duration > 0:
             t = t % duration
-        idx = int(np.searchsorted(self.bucket_times, t, side="right")) - 1
+        idx = bisect_right(self._times, t) - 1
         if idx < 0:
             idx = 0
-        return float(self.loss_prob[idx])
+        return self._probs[idx]
 
 
 @dataclass

@@ -281,8 +281,7 @@ def run_stream(
     server.close()
     if tel is not None:
         tel.stop_sampling()
-        for delay in receiver.packet_delays:
-            tel.observe("e2e.packet_delay", delay)
+        tel.observe_many("e2e.packet_delay", receiver.packet_delays)
         tel.record_stats("client", client.stats)
         if hasattr(server, "decoder"):
             tel.record_stats("decode", server.decoder.stats)

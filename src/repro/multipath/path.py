@@ -82,10 +82,13 @@ class PathState:
         """Heuristic liveness: no ACK for several PTOs while data was sent."""
         if self.packets_sent == 0:
             return False
-        reference = max(self.last_ack_time, 0.0)
-        quiet = now - max(reference, 0.0)
-        waiting = self.cc.bytes_in_flight > 0 or self.last_send_time > self.last_ack_time
-        return waiting and quiet > PATH_FAILURE_PTOS * self.rtt.pto()
+        # this runs on every scheduling decision; skip the PTO computation
+        # entirely when nothing is waiting for an ACK
+        last_ack = self.last_ack_time
+        if self.cc.bytes_in_flight <= 0 and self.last_send_time <= last_ack:
+            return False
+        quiet = now - (last_ack if last_ack > 0.0 else 0.0)
+        return quiet > PATH_FAILURE_PTOS * self.rtt.pto()
 
     def is_usable(self, now: float) -> bool:
         """Usable for transmission: enabled and not apparently dead."""
@@ -100,6 +103,9 @@ class PathManager:
 
     def __init__(self, paths: Optional[List[PathState]] = None):
         self._paths: Dict[int, PathState] = {}
+        # id-sorted view, rebuilt only when the path set changes — these
+        # accessors run on every scheduling decision and tick
+        self._sorted: List[PathState] = []
         for p in paths or []:
             self.add(p)
 
@@ -107,6 +113,7 @@ class PathManager:
         if path.path_id in self._paths:
             raise ValueError("duplicate path id %d" % path.path_id)
         self._paths[path.path_id] = path
+        self._sorted = sorted(self._paths.values(), key=lambda p: p.path_id)
 
     def get(self, path_id: int) -> PathState:
         return self._paths[path_id]
@@ -115,10 +122,12 @@ class PathManager:
         return len(self._paths)
 
     def __iter__(self):
-        return iter(sorted(self._paths.values(), key=lambda p: p.path_id))
+        return iter(self._sorted)
 
     def all(self) -> List[PathState]:
-        return sorted(self._paths.values(), key=lambda p: p.path_id)
+        # callers may reorder the returned list (schedulers do), so hand
+        # out a copy of the cached view
+        return list(self._sorted)
 
     def usable(self, now: float) -> List[PathState]:
         return [p for p in self.all() if p.is_usable(now)]

@@ -119,6 +119,29 @@ class Histogram:
         idx = self._index(value)
         self._buckets[idx] = self._buckets.get(idx, 0) + 1
 
+    def record_many(self, values) -> None:
+        """Record a whole sequence with one pass of bookkeeping.
+
+        Equivalent to ``for v in values: self.record(v)`` — summary fields
+        and bucket counts end up identical — but pays the attribute and
+        dict overhead once per batch instead of once per value.
+        """
+        values = list(values)
+        if not values:
+            return
+        self.count += len(values)
+        self.total += sum(values)
+        lo, hi = min(values), max(values)
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        buckets = self._buckets
+        index = self._index
+        for value in values:
+            idx = index(value)
+            buckets[idx] = buckets.get(idx, 0) + 1
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -197,6 +220,9 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).record(value)
+
+    def observe_many(self, name: str, values) -> None:
+        self.histogram(name).record_many(values)
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value, self.clock())

@@ -71,6 +71,9 @@ class Telemetry:
     def observe(self, name: str, value: float) -> None:
         self.metrics.observe(name, value)
 
+    def observe_many(self, name: str, values) -> None:
+        self.metrics.observe_many(name, values)
+
     def set_gauge(self, name: str, value: float) -> None:
         self.metrics.set_gauge(name, value)
 
@@ -208,6 +211,9 @@ class NullTelemetry:
         pass
 
     def observe(self, name, value) -> None:
+        pass
+
+    def observe_many(self, name, values) -> None:
         pass
 
     def set_gauge(self, name, value) -> None:

@@ -103,15 +103,30 @@ class BbrController(CongestionController):
             return
         bw = (self.delivered_bytes - first.delivered) / span
         # windowed max over the last BW_FILTER_ROUNDS rounds, aggregated to
-        # one (round, max) entry per round so the filter stays O(rounds)
-        if self._bw_samples and self._bw_samples[-1][0] == self._round:
-            if bw > self._bw_samples[-1][1]:
-                self._bw_samples[-1] = (self._round, bw)
+        # one (round, max) entry per round so the filter stays O(rounds).
+        # max_bandwidth is maintained incrementally: per-round entries only
+        # ever grow, so the filter max can change only when a new sample
+        # exceeds it or an eviction removes the entry that held it.
+        samples = self._bw_samples
+        if samples and samples[-1][0] == self._round:
+            if bw > samples[-1][1]:
+                samples[-1] = (self._round, bw)
         else:
-            self._bw_samples.append((self._round, bw))
-        while self._bw_samples and self._bw_samples[0][0] < self._round - BW_FILTER_ROUNDS:
-            self._bw_samples.popleft()
-        self.max_bandwidth = max(b for _, b in self._bw_samples)
+            samples.append((self._round, bw))
+        cutoff = self._round - BW_FILTER_ROUNDS
+        evicted_max = False
+        while samples and samples[0][0] < cutoff:
+            if samples[0][1] >= self.max_bandwidth:
+                evicted_max = True
+            samples.popleft()
+        if evicted_max:
+            mb = 0.0
+            for _, b in samples:
+                if b > mb:
+                    mb = b
+            self.max_bandwidth = mb
+        elif bw > self.max_bandwidth:
+            self.max_bandwidth = bw
 
     def _check_startup_done(self) -> None:
         if self.state != self.STARTUP:

@@ -29,6 +29,10 @@ class RttEstimator:
     smoothed_rtt: float = field(init=False, default=0.0)
     rtt_var: float = field(init=False, default=0.0)
     samples: int = field(init=False, default=0)
+    # memoised default-argument pto(); invalidated on every update().  The
+    # loss detector and path-liveness checks call pto() once per candidate
+    # packet, far more often than new samples arrive.
+    _pto_cache: float = field(init=False, default=-1.0, repr=False)
 
     def __post_init__(self):
         if self.initial_rtt <= 0:
@@ -44,6 +48,7 @@ class RttEstimator:
         """Fold one RTT sample in (RFC 9002 §5.3)."""
         if rtt_sample <= 0:
             return
+        self._pto_cache = -1.0
         self.samples += 1
         self.latest_rtt = rtt_sample
         self.min_rtt = min(self.min_rtt, rtt_sample)
@@ -60,6 +65,13 @@ class RttEstimator:
 
     def pto(self, max_ack_delay: float = 0.025, granularity: float = 0.001) -> float:
         """Probe timeout interval (RFC 9002 §6.2)."""
+        if max_ack_delay == 0.025 and granularity == 0.001:
+            cached = self._pto_cache
+            if cached >= 0.0:
+                return cached
+            cached = self.smoothed_rtt + max(4 * self.rtt_var, granularity) + max_ack_delay
+            self._pto_cache = cached
+            return cached
         return self.smoothed_rtt + max(4 * self.rtt_var, granularity) + max_ack_delay
 
     def as_tuple(self) -> tuple:

@@ -55,6 +55,10 @@ class WireError(Exception):
     """Malformed packet bytes."""
 
 
+#: Flags byte + u64 connection ID, packed/unpacked in one struct call.
+_PKT_HEADER = struct.Struct("!BQ")
+
+
 def _encode_ack(ack: AckFrame) -> bytes:
     if not ack.ranges:
         raise WireError("ACK frame needs at least one range")
@@ -124,8 +128,8 @@ def serialize_packet(packet: QuicPacket) -> bytes:
         pn = 0  # ACK-only packets use pn 0 in the unprotected space
     else:
         pn = packet.packet_number & 0xFFFFFF
-    out = bytearray([HEADER_FLAGS])
-    out += struct.pack("!Q", packet.connection_id & 0xFFFFFFFFFFFFFFFF)
+    out = bytearray(_PKT_HEADER.pack(HEADER_FLAGS,
+                                     packet.connection_id & 0xFFFFFFFFFFFFFFFF))
     out += pn.to_bytes(PN_LEN, "big")
     for frame in packet.frames:
         if isinstance(frame, AckFrame):
@@ -164,7 +168,7 @@ def parse_packet(data: bytes) -> ParsedPacket:
         raise WireError("packet too short")
     if data[0] & 0xC0 != 0x40:
         raise WireError("not a short-header packet")
-    (cid,) = struct.unpack_from("!Q", data, 1)
+    _flags, cid = _PKT_HEADER.unpack_from(data, 0)
     pn = int.from_bytes(data[1 + DCID_LEN : 1 + DCID_LEN + PN_LEN], "big")
     offset = 1 + DCID_LEN + PN_LEN
     end = len(data) - AEAD_TAG_LEN
@@ -180,7 +184,7 @@ def parse_packet(data: bytes) -> ParsedPacket:
             offset += consumed
         elif ftype == FRAME_XNC_NC:
             try:
-                frame, consumed = XncNcFrame.decode(data[offset:end])
+                frame, consumed = XncNcFrame.decode_from(data, offset, end)
             except FrameError as exc:
                 raise WireError(str(exc))
             frames.append(frame)

@@ -32,7 +32,7 @@ from ..multipath.scheduler.base import Scheduler
 from ..obs import NULL_TELEMETRY
 from ..obs import trace as ev
 from ..quic.ack import AckRangeTracker
-from ..quic.packet import AckFrame, QuicPacket
+from ..quic.packet import TUNNEL_OVERHEAD, AckFrame, QuicPacket
 from ..sanitizer import sanitizer_or_default
 
 __all__ = [
@@ -155,6 +155,9 @@ class TunnelClientBase:
         self.rto_min = 0.0
         self.stats = ClientStats()
         self._queue: Deque[AppPacket] = deque()
+        self._queue_bytes = 0
+        # probed once: only backlog-aware schedulers (ECF) expose the hint
+        self._scheduler_wants_backlog = hasattr(scheduler, "queued_bytes_hint")
         self._next_app_id = 0
         # per path: packet number -> SentInfo, plus send-order pn deque
         self._sent: Dict[int, Dict[int, SentInfo]] = {p.path_id: {} for p in paths}
@@ -182,6 +185,7 @@ class TunnelClientBase:
         pkt = AppPacket(self._next_app_id, bytes(payload), frame_id, self.loop.now)
         self._next_app_id += 1
         self._queue.append(pkt)
+        self._queue_bytes += pkt.size
         if tel.enabled:
             tel.event(self.loop.now, ev.APP_IN, pkt.packet_id,
                       size=pkt.size, frame=frame_id)
@@ -196,7 +200,7 @@ class TunnelClientBase:
 
     @property
     def backlog_bytes(self) -> int:
-        return sum(p.size for p in self._queue)
+        return self._queue_bytes
 
     # -- subclass hooks --------------------------------------------------
 
@@ -232,34 +236,39 @@ class TunnelClientBase:
             return
         guard = 0
         tel = self.telemetry
+        # sim time cannot advance inside one event callback, so one read
+        # of the clock serves the whole drain loop
+        now = self.loop.now
         while self._queue:
             pkt = self._queue[0]
-            if self._queue_entry_stale(pkt, self.loop.now):
+            if self._queue_entry_stale(pkt, now):
                 self._queue.popleft()
+                self._queue_bytes -= pkt.size
                 self.stats.expired_packets += 1
                 if tel.enabled:
-                    tel.event(self.loop.now, ev.EXPIRED, pkt.packet_id,
+                    tel.event(now, ev.EXPIRED, pkt.packet_id,
                               where="ingress_queue")
                     tel.count("client.expired")
                 self._on_queue_entry_dropped(pkt)
                 continue
             frame = self._build_frame(pkt)
             wire_estimate = frame.wire_size + 56
-            if hasattr(self.scheduler, "queued_bytes_hint"):
-                self.scheduler.queued_bytes_hint = self.backlog_bytes
-            targets = self.scheduler.select(self.paths.all(), wire_estimate, self.loop.now)
+            if self._scheduler_wants_backlog:
+                self.scheduler.queued_bytes_hint = self._queue_bytes
+            targets = self.scheduler.select(self.paths.all(), wire_estimate, now)
             if not targets:
                 return
             if self.sanitizer.enabled:
-                self.sanitizer.check_scheduler_targets(targets, wire_estimate, self.loop.now)
+                self.sanitizer.check_scheduler_targets(targets, wire_estimate, now)
             self._queue.popleft()
+            self._queue_bytes -= pkt.size
             if tel.enabled:
-                tel.event(self.loop.now, ev.SCHEDULED, pkt.packet_id,
+                tel.event(now, ev.SCHEDULED, pkt.packet_id,
                           targets[0].path_id, fanout=len(targets),
-                          queue_wait=self.loop.now - pkt.enqueue_time)
+                          queue_wait=now - pkt.enqueue_time)
                 for t in targets:
                     tel.count("scheduler.selected.path%d" % t.path_id)
-                tel.observe("client.queue_wait", self.loop.now - pkt.enqueue_time)
+                tel.observe("client.queue_wait", now - pkt.enqueue_time)
             for i, path in enumerate(targets):
                 is_dup = i > 0
                 self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)
@@ -277,19 +286,21 @@ class TunnelClientBase:
         is_retx: bool = False,
     ) -> SentInfo:
         """Wrap one frame into a QUIC packet and put it on a path."""
+        now = self.loop.now
         pn = path.next_packet_number()
         qpkt = QuicPacket(
             path_id=path.path_id,
             packet_number=pn,
             frames=[frame],
-            sent_time=self.loop.now,
+            sent_time=now,
             connection_id=self.connection_id,
         )
-        size = qpkt.wire_size
-        info = SentInfo(pn, path.path_id, size, self.loop.now, app_ids, is_recovery)
+        # single-frame packet: equals qpkt.wire_size without the generic sum
+        size = TUNNEL_OVERHEAD + frame.wire_size
+        info = SentInfo(pn, path.path_id, size, now, app_ids, is_recovery)
         self._sent[path.path_id][pn] = info
         self._sent_order[path.path_id].append(pn)
-        path.on_sent(size, self.loop.now)
+        path.on_sent(size, now)
         if self.sanitizer.enabled:
             self.sanitizer.check_transmit(
                 path, pn, size,
@@ -314,7 +325,7 @@ class TunnelClientBase:
                 attrs["dup"] = True
             if is_retx:
                 attrs["retx"] = True
-            tel.event(self.loop.now, kind, app_ids[0] if app_ids else -1,
+            tel.event(now, kind, app_ids[0] if app_ids else -1,
                       path.path_id, **attrs)
             tel.count("client.%s" % kind)
         self.emulator.send_uplink(path.path_id, qpkt, size)
@@ -327,8 +338,9 @@ class TunnelClientBase:
             return
         if payload.connection_id != self.connection_id:
             return  # another tunnel's traffic on the shared links
-        for frame in payload.ack_frames():
-            self._process_ack(frame, now)
+        for frame in payload.frames:
+            if isinstance(frame, AckFrame):
+                self._process_ack(frame, now)
         self._pump()
 
     def _process_ack(self, ack: AckFrame, now: float) -> None:
@@ -392,25 +404,33 @@ class TunnelClientBase:
         sent_map = self._sent[path_id]
         time_limit = max(self._cc_time_threshold(path), self.rto_min)
         pto_limit = max(path.rtt.pto() * 1.5, self.rto_min)
-        for pn in list(sent_map):
-            info = sent_map[pn]
+        # sent_map is insertion-ordered by pn, and sent_time is
+        # non-decreasing in pn, so once a live packet is both above the
+        # reorder threshold and not yet PTO-overdue, no later packet can
+        # satisfy either loss branch — stop scanning there instead of
+        # walking the whole outstanding window on every ACK.
+        newly_lost: List[SentInfo] = []
+        for pn, info in sent_map.items():
             if info.acked or info.cc_lost:
                 continue
             overdue = now - info.sent_time
-            lost = False
-            if pn <= threshold_pn and overdue >= time_limit:
-                lost = True
-            elif overdue >= pto_limit:
-                lost = True
-            if not lost:
-                continue
+            if pn <= threshold_pn:
+                if overdue < time_limit and overdue < pto_limit:
+                    continue
+            elif overdue < pto_limit:
+                break
+            newly_lost.append(info)
+        # side effects after the scan: _on_cc_lost may enqueue work that
+        # grows sent_map, which the snapshot-based scan never observed
+        tel = self.telemetry
+        for info in newly_lost:
             info.cc_lost = True
             path.on_lost(info.size, now)
-            tel = self.telemetry
             if tel.enabled:
                 tel.event(now, ev.CC_LOSS,
                           info.app_ids[0] if info.app_ids else -1,
-                          path_id, pn=pn, overdue=overdue,
+                          path_id, pn=info.packet_number,
+                          overdue=now - info.sent_time,
                           count=len(info.app_ids))
                 tel.count("client.cc_loss")
             if not info.is_recovery:
@@ -501,9 +521,16 @@ class TunnelServerBase:
         fresh = tracker.on_received(payload.packet_number, now)
         if not fresh:
             self.duplicates += 1
-        for frame in payload.xnc_frames():
-            self._handle_frame(path_id, frame, now)
-        if payload.is_ack_eliciting:
+        # one pass over the frames replaces the xnc_frames() list build and
+        # the is_ack_eliciting scan (eliciting == any non-ACK frame)
+        ack_eliciting = False
+        for frame in payload.frames:
+            if isinstance(frame, XncNcFrame):
+                ack_eliciting = True
+                self._handle_frame(path_id, frame, now)
+            elif not isinstance(frame, AckFrame):
+                ack_eliciting = True
+        if ack_eliciting:
             self._unacked_count[path_id] += 1
             if self._unacked_count[path_id] >= self.ack_every:
                 self._emit_ack(path_id)
@@ -533,7 +560,7 @@ class TunnelServerBase:
             sent_time=self.loop.now,
             connection_id=self.connection_id,
         )
-        self.emulator.send_downlink(path_id, pkt, pkt.wire_size)
+        self.emulator.send_downlink(path_id, pkt, TUNNEL_OVERHEAD + ack.wire_size)
 
     def close(self) -> None:
         self.closed = True

@@ -1,0 +1,266 @@
+"""tools/bench: schema validation, regression gating, harness determinism.
+
+These tests exercise the benchmark *machinery*, not the timings: schema
+checks on well-formed and doctored documents, ``--compare`` exiting
+non-zero when a doctored JSON claims a throughput collapse, baseline
+merging, and the deterministic workload construction.  Offline documents
+go through the real CLI via ``--input`` so no benchmark has to run.
+"""
+
+import copy
+import json
+
+import pytest
+
+from tools.bench import main as bench_main
+from tools.bench.harness import Benchmark, Workload, run_benchmark
+from tools.bench.schema import (
+    REQUIRED_FAMILIES,
+    SCHEMA_VERSION,
+    compare_documents,
+    merge_baseline,
+    validate_document,
+)
+from tools.bench.suites import all_benchmarks
+
+
+def make_doc(**value_overrides):
+    """A minimal valid schema-v1 document covering all four families."""
+    names = {
+        "events": "events.schedule_fire",
+        "gf": "gf256.addmul_1MiB",
+        "wire": "wire.parse",
+        "tunnel": "tunnel.fig10a_4path",
+    }
+    units = {
+        "events": "events/s",
+        "gf": "MB/s",
+        "wire": "packets/s",
+        "tunnel": "app_MB/s",
+    }
+    defaults = {"events": 100000.0, "gf": 250.0, "wire": 200000.0, "tunnel": 12.0}
+    benches = []
+    for fam in REQUIRED_FAMILIES:
+        v = value_overrides.get(fam, defaults[fam])
+        benches.append({
+            "name": names[fam],
+            "family": fam,
+            "unit": units[fam],
+            "value": v,
+            "stddev": v * 0.01,
+            "trials": [v * 0.99, v, v * 1.01],
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": {
+            "tool": "repro bench",
+            "mode": "full",
+            "python": "3.x",
+            "platform": "test",
+        },
+        "benchmarks": benches,
+    }
+
+
+class TestSchemaValidation:
+    def test_valid_document_passes(self):
+        assert validate_document(make_doc()) == []
+
+    def test_wrong_schema_version(self):
+        doc = make_doc()
+        doc["schema_version"] = 99
+        assert any("schema_version" in p for p in validate_document(doc))
+
+    def test_missing_family(self):
+        doc = make_doc()
+        doc["benchmarks"] = [b for b in doc["benchmarks"] if b["family"] != "tunnel"]
+        problems = validate_document(doc)
+        assert any("tunnel" in p for p in problems)
+        # ...but partial documents are fine when families aren't required
+        assert validate_document(doc, require_families=False) == []
+
+    def test_nonpositive_value_rejected(self):
+        doc = make_doc(gf=0.0)
+        doc["benchmarks"][1]["value"] = 0.0
+        assert any("positive" in p for p in validate_document(doc))
+
+    def test_duplicate_names_rejected(self):
+        doc = make_doc()
+        doc["benchmarks"].append(dict(doc["benchmarks"][0]))
+        assert any("duplicate" in p for p in validate_document(doc))
+
+    def test_missing_keys_reported(self):
+        doc = make_doc()
+        del doc["benchmarks"][0]["trials"]
+        del doc["meta"]["tool"]
+        problems = validate_document(doc)
+        assert any("trials" in p for p in problems)
+        assert any("meta.tool" in p for p in problems)
+
+    def test_empty_benchmarks_rejected(self):
+        doc = make_doc()
+        doc["benchmarks"] = []
+        assert any("non-empty" in p for p in validate_document(doc))
+
+    def test_non_object_document(self):
+        assert validate_document([1, 2, 3]) != []
+
+    def test_committed_artifact_is_valid(self):
+        import os
+
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(here, "BENCH_PR4.json")
+        if not os.path.exists(path):
+            pytest.skip("BENCH_PR4.json not generated yet")
+        with open(path) as f:
+            doc = json.load(f)
+        assert validate_document(doc) == []
+        tunnel = [b for b in doc["benchmarks"] if b["family"] == "tunnel"]
+        assert tunnel and all(b.get("speedup", 0) >= 1.5 for b in tunnel)
+
+
+class TestCompareGating:
+    def test_no_regression(self):
+        old, new = make_doc(), make_doc()
+        regressions, notes = compare_documents(old, new, 10.0)
+        assert regressions == []
+        assert len(notes) == len(REQUIRED_FAMILIES)
+
+    def test_detects_regression(self):
+        old = make_doc()
+        new = make_doc(tunnel=12.0 * 0.5)  # 50% slower than old
+        regressions, _ = compare_documents(old, new, 10.0)
+        assert len(regressions) == 1
+        assert "tunnel" in regressions[0]
+
+    def test_improvement_is_not_regression(self):
+        old = make_doc()
+        new = make_doc(tunnel=24.0)
+        regressions, notes = compare_documents(old, new, 10.0)
+        assert regressions == []
+        assert any("tunnel" in n and "+" in n for n in notes)
+
+    def test_budget_boundary(self):
+        old = make_doc(gf=100.0)
+        # exactly at the budget: not a regression; just past it: flagged
+        at = copy.deepcopy(old)
+        at["benchmarks"][1]["value"] = 90.0
+        assert compare_documents(old, at, 10.0)[0] == []
+        past = copy.deepcopy(old)
+        past["benchmarks"][1]["value"] = 89.0
+        assert len(compare_documents(old, past, 10.0)[0]) == 1
+
+    def test_new_and_missing_benchmarks_are_notes(self):
+        old, new = make_doc(), make_doc()
+        old["benchmarks"][0]["name"] = "events.retired_bench"
+        regressions, notes = compare_documents(old, new, 10.0)
+        assert regressions == []
+        assert any("new benchmark" in n for n in notes)
+        assert any("old run only" in n for n in notes)
+
+
+class TestBaselineMerge:
+    def test_merge_annotates_speedup(self):
+        before = make_doc(tunnel=8.0)
+        after = make_doc(tunnel=16.0)
+        n = merge_baseline(after, before)
+        assert n == len(REQUIRED_FAMILIES)
+        tunnel = [b for b in after["benchmarks"] if b["family"] == "tunnel"][0]
+        assert tunnel["baseline"]["value"] == 8.0
+        assert tunnel["speedup"] == pytest.approx(2.0)
+        # merged document still validates
+        assert validate_document(after) == []
+
+
+class TestCliGating:
+    """End-to-end CLI runs on doctored artifacts (no benchmarks executed)."""
+
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_compare_exit_nonzero_on_doctored_json(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", make_doc())
+        doctored = self._write(tmp_path, "new.json", make_doc(wire=200000.0 * 0.3))
+        rc = bench_main(["--input", doctored, "--compare", old,
+                         "--max-regression", "10"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_compare_exit_zero_when_clean(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", make_doc())
+        new = self._write(tmp_path, "new.json", make_doc(tunnel=18.0))
+        rc = bench_main(["--input", new, "--compare", old])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_validate_flag(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.json", make_doc())
+        assert bench_main(["--validate", good]) == 0
+        bad_doc = make_doc()
+        bad_doc["schema_version"] = 7
+        bad = self._write(tmp_path, "bad.json", bad_doc)
+        assert bench_main(["--validate", bad]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_input_rejects_invalid_doc(self, tmp_path):
+        doc = make_doc()
+        doc["benchmarks"] = []
+        bad = self._write(tmp_path, "bad.json", doc)
+        assert bench_main(["--input", bad]) == 1
+
+    def test_out_merges_baseline_artifact(self, tmp_path, capsys):
+        before = self._write(tmp_path, "before.json", make_doc(tunnel=8.0))
+        after = self._write(tmp_path, "after.json", make_doc(tunnel=16.0))
+        out = tmp_path / "merged.json"
+        rc = bench_main(["--input", after, "--baseline", before,
+                         "--out", str(out)])
+        assert rc == 0
+        merged = json.loads(out.read_text())
+        assert validate_document(merged) == []
+        tunnel = [b for b in merged["benchmarks"] if b["family"] == "tunnel"][0]
+        assert tunnel["speedup"] == pytest.approx(2.0)
+
+    def test_list_flag(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for fam in REQUIRED_FAMILIES:
+            assert fam in out
+
+
+class TestHarness:
+    def test_registry_covers_required_families(self):
+        fams = {b.family for b in all_benchmarks()}
+        assert set(REQUIRED_FAMILIES) <= fams
+        names = [b.name for b in all_benchmarks()]
+        assert len(names) == len(set(names))
+
+    def test_workload_modes(self):
+        full = Workload(mode="full", scale=1.0)
+        smoke = Workload(mode="smoke", scale=1.0)
+        assert not full.smoke and smoke.smoke
+        with pytest.raises(ValueError):
+            Workload(mode="nope", scale=1.0)
+        with pytest.raises(ValueError):
+            Workload(mode="full", scale=0.0)
+
+    def test_run_benchmark_deterministic_work(self, capsys):
+        # the measured *work* is deterministic even though timings vary:
+        # run one trivial benchmark twice and check identical throughput
+        # denominators (units processed) via a counting body
+        counts = []
+
+        def body(workload):
+            n = 1000 if workload.smoke else 5000
+            total = sum(range(n))
+            counts.append(total)
+            return float(n)
+
+        bench = Benchmark(name="x.count", family="x", unit="ops/s",
+                          body=body, trials=2, warmup=1)
+        r1 = run_benchmark(bench, Workload(mode="smoke", scale=1.0))
+        r2 = run_benchmark(bench, Workload(mode="smoke", scale=1.0))
+        assert len(set(counts)) == 1  # same work every trial, both runs
+        assert r1.value > 0 and r2.value > 0
+        assert len(r1.trials) == 2  # smoke forces 2 trials

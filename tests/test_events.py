@@ -102,6 +102,83 @@ class TestEventLoop:
         assert loop.events_processed == 5
 
 
+class TestCompaction:
+    """Cancelled-entry compaction: the heap must not grow without bound."""
+
+    def test_cancel_churn_heap_bounded(self):
+        # Regression: before compaction, a schedule/cancel churn (timer
+        # re-arming) accumulated one dead entry per cancel and the heap
+        # grew linearly with the number of cancels.
+        loop = EventLoop()
+        anchor = loop.schedule(1000.0, lambda: None)  # keep the loop alive
+        for i in range(10_000):
+            h = loop.call_later(500.0, lambda: None)
+            h.cancel()
+        assert loop.pending_events() == 1
+        # physical heap stays within a small constant of the live size
+        assert loop.heap_size() < 200
+        anchor.cancel()
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        seen = []
+        h = loop.schedule(1.0, seen.append, "x")
+        loop.schedule(2.0, seen.append, "y")
+        loop.run_until(1.5)
+        assert seen == ["x"]
+        assert h.cancelled  # fired entries read as cancelled
+        before = loop.pending_events()
+        h.cancel()  # must not decrement accounting or disturb the heap
+        h.cancel()
+        assert loop.pending_events() == before
+        loop.run()
+        assert seen == ["x", "y"]
+
+    def test_tie_break_order_survives_compaction(self):
+        loop = EventLoop()
+        seen = []
+        # interleave survivors (same fire time, distinct insertion order)
+        # with enough cancelled entries to force at least one compaction
+        survivors = []
+        for i in range(200):
+            survivors.append(loop.schedule(10.0, seen.append, i))
+            for _ in range(4):
+                loop.schedule(10.0, lambda: None).cancel()
+        assert loop.pending_events() == 200
+        loop.run()
+        assert seen == list(range(200))
+
+    def test_pending_and_heap_size_accounting(self):
+        loop = EventLoop()
+        handles = [loop.schedule(float(i), lambda: None) for i in range(10)]
+        assert loop.pending_events() == 10
+        assert loop.heap_size() == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert loop.pending_events() == 6
+        assert loop.heap_size() >= 6  # dead entries may linger pre-threshold
+        loop.run()
+        assert loop.pending_events() == 0
+        assert loop.heap_size() == 0
+        assert loop.events_processed == 6
+
+    def test_compaction_preserves_run_results(self):
+        # Same workload with and without churn produces the same firing
+        # sequence and times.
+        def run(churn):
+            loop = EventLoop()
+            seen = []
+            for i in range(50):
+                loop.schedule(0.1 * i, lambda i=i: seen.append((i, loop.now)))
+                if churn:
+                    for _ in range(10):
+                        loop.schedule(0.1 * i + 0.05, lambda: None).cancel()
+            loop.run()
+            return seen
+
+        assert run(False) == run(True)
+
+
 class TestPeriodicTimer:
     def test_fires_at_interval(self):
         loop = EventLoop()

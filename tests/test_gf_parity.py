@@ -1,0 +1,136 @@
+"""Differential parity: every GF(2^8) kernel agrees with the scalar field.
+
+Three implementations of the same arithmetic coexist (§4.3.1 / Fig. 14):
+
+* the scalar table lookups ``gf_mul`` / ``gf_inv`` (ground truth here);
+* the numpy-vectorised kernels ``gf_mul_vec`` / ``gf_addmul_vec`` (the
+  SIMD stand-in);
+* the small-buffer byte-path ``gf_mul_bytes`` / ``gf_addmul_bytes``
+  (``bytes.translate`` over cached rows — the hot path for coefficient
+  vectors and short payloads).
+
+These hypothesis tests pin all three to each other over buffer lengths
+0–4096 and every coefficient, including the 0 and 1 special cases that
+each implementation short-circuits separately.  Any optimisation of one
+path that drifts from the field dies here.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gf256 import (
+    gf_addmul_bytes,
+    gf_addmul_scalar_buffer,
+    gf_addmul_vec,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_mul_scalar_buffer,
+    gf_mul_vec,
+)
+
+coefficients = st.integers(min_value=0, max_value=255)
+# spans empty, tiny (coefficient vectors), the <256 fast-path regime, the
+# 256-boundary, and multi-KiB payload rows
+buffers = st.binary(min_size=0, max_size=4096)
+special = st.sampled_from([0, 1, 2, 255])
+
+
+def _scalar_mul_reference(data: bytes, coeff: int) -> bytes:
+    return bytes(gf_mul(b, coeff) for b in data)
+
+
+class TestMulParity:
+    @given(buffers, coefficients)
+    @settings(max_examples=200, deadline=None)
+    def test_vec_matches_scalar(self, data, coeff):
+        ref = _scalar_mul_reference(data, coeff)
+        vec = gf_mul_vec(np.frombuffer(data, np.uint8), coeff)
+        assert vec.tobytes() == ref
+
+    @given(buffers, coefficients)
+    @settings(max_examples=200, deadline=None)
+    def test_bytes_matches_scalar(self, data, coeff):
+        assert gf_mul_bytes(data, coeff) == _scalar_mul_reference(data, coeff)
+
+    @given(buffers, special)
+    @settings(max_examples=100, deadline=None)
+    def test_special_coefficients_all_paths(self, data, coeff):
+        ref = _scalar_mul_reference(data, coeff)
+        assert gf_mul_bytes(data, coeff) == ref
+        assert gf_mul_vec(np.frombuffer(data, np.uint8), coeff).tobytes() == ref
+        assert gf_mul_scalar_buffer(data, coeff) == ref
+
+    @given(buffers)
+    @settings(max_examples=50, deadline=None)
+    def test_coeff_one_is_identity_and_copies(self, data):
+        out = gf_mul_bytes(data, 1)
+        assert out == data
+        arr = gf_mul_vec(np.frombuffer(data, np.uint8), 1)
+        assert arr.tobytes() == data
+        if len(data):
+            arr[0] ^= 0xFF  # returned buffer must be writable, not a view
+            assert bytes(data)[0] == data[0]
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_then_inverse_roundtrips(self, data, coeff):
+        assert gf_mul_bytes(gf_mul_bytes(data, coeff), gf_inv(coeff)) == data
+
+
+class TestAddmulParity:
+    @given(buffers, coefficients, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_vec_matches_scalar(self, data, coeff, rnd):
+        acc0 = bytes(rnd.getrandbits(8) for _ in range(len(data)))
+        ref = bytes(a ^ gf_mul(d, coeff) for a, d in zip(acc0, data))
+        acc_vec = np.frombuffer(acc0, np.uint8).copy()
+        gf_addmul_vec(acc_vec, np.frombuffer(data, np.uint8), coeff)
+        assert acc_vec.tobytes() == ref
+
+    @given(buffers, coefficients, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_bytes_matches_scalar(self, data, coeff, rnd):
+        acc0 = bytes(rnd.getrandbits(8) for _ in range(len(data)))
+        ref = bytes(a ^ gf_mul(d, coeff) for a, d in zip(acc0, data))
+        assert gf_addmul_bytes(acc0, data, coeff) == ref
+
+    @given(buffers, special)
+    @settings(max_examples=100, deadline=None)
+    def test_special_coefficients_all_paths(self, data, coeff):
+        acc0 = bytes((i * 31 + 7) & 0xFF for i in range(len(data)))
+        ref = bytes(a ^ gf_mul(d, coeff) for a, d in zip(acc0, data))
+        assert gf_addmul_bytes(acc0, data, coeff) == ref
+        acc_vec = np.frombuffer(acc0, np.uint8).copy()
+        gf_addmul_vec(acc_vec, np.frombuffer(data, np.uint8), coeff)
+        assert acc_vec.tobytes() == ref
+        acc_sb = bytearray(acc0)
+        gf_addmul_scalar_buffer(acc_sb, data, coeff)
+        assert bytes(acc_sb) == ref
+
+    @given(st.binary(min_size=0, max_size=512), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_addmul_twice_cancels(self, data, coeff):
+        # characteristic 2: acc ^ c*d ^ c*d == acc on every path
+        acc = gf_addmul_bytes(gf_addmul_bytes(b"\x00" * len(data), data, coeff),
+                              data, coeff)
+        assert acc == b"\x00" * len(data)
+
+
+class TestCrossPathEquivalence:
+    """The three paths agree with *each other* on identical workloads."""
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.binary(min_size=16, max_size=16)),
+                    min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_linear_combination_all_paths(self, terms):
+        width = 16
+        acc_bytes = b"\x00" * width
+        acc_vec = np.zeros(width, dtype=np.uint8)
+        acc_scalar = bytearray(width)
+        for coeff, data in terms:
+            acc_bytes = gf_addmul_bytes(acc_bytes, data, coeff)
+            gf_addmul_vec(acc_vec, np.frombuffer(data, np.uint8), coeff)
+            gf_addmul_scalar_buffer(acc_scalar, data, coeff)
+        assert acc_bytes == acc_vec.tobytes() == bytes(acc_scalar)

@@ -1,0 +1,213 @@
+"""repro-bench: the zero-flakiness microbenchmark subsystem.
+
+Run it as ``python -m tools.bench`` from the repo root (with
+``PYTHONPATH=src``), or via the ``repro bench`` CLI subcommand.  It
+measures the four hot-path families (events, gf, wire, tunnel) with
+deterministic seeded workloads, warmup, and median-of-trials reporting,
+and emits a schema-versioned JSON artifact (``BENCH_PR4.json`` at the
+repo root is the committed trajectory point for this PR).
+
+Regression gating::
+
+    repro bench --compare old.json --max-regression 10
+
+runs the suite and exits non-zero if any benchmark's throughput dropped
+more than 10 % versus ``old.json``.  ``--input FILE`` substitutes an
+existing results file for the fresh run (offline comparison), and
+``--validate FILE`` only schema-checks an artifact.  See
+``docs/performance.md`` for the full recipe.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import List, Optional
+
+from .harness import BenchResult, Benchmark, Workload, run_benchmark
+from .schema import (
+    REQUIRED_FAMILIES,
+    SCHEMA_VERSION,
+    compare_documents,
+    merge_baseline,
+    validate_document,
+)
+from .suites import WORKLOAD_SEED, all_benchmarks, families
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "Workload",
+    "run_benchmark",
+    "all_benchmarks",
+    "families",
+    "run_suite",
+    "build_document",
+    "SCHEMA_VERSION",
+    "REQUIRED_FAMILIES",
+    "compare_documents",
+    "merge_baseline",
+    "validate_document",
+    "main",
+]
+
+
+def _matches(bench: Benchmark, targets: List[str]) -> bool:
+    if not targets:
+        return True
+    return any(t == bench.family or t == bench.name or bench.name.startswith(t + ".")
+               for t in targets)
+
+
+def run_suite(workload: Workload, targets: Optional[List[str]] = None,
+              echo=None) -> List[BenchResult]:
+    """Run every (matching) benchmark; returns results in registry order."""
+    results: List[BenchResult] = []
+    for bench in all_benchmarks():
+        if not _matches(bench, targets or []):
+            continue
+        if echo:
+            echo("  %-24s running..." % bench.name)
+        result = run_benchmark(bench, workload)
+        if echo:
+            echo("  %-24s %12.4g %-10s (±%.1f%%, %d trials)"
+                 % (result.name, result.value, result.unit,
+                    100.0 * (result.stddev / result.value if result.value else 0.0),
+                    len(result.trials)))
+        results.append(result)
+    return results
+
+
+def build_document(results: List[BenchResult], mode: str) -> dict:
+    """Assemble the schema-version-1 artifact for a set of results."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": {
+            "tool": "repro bench",
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": _numpy_version(),
+            "workload_seed": WORKLOAD_SEED,
+        },
+        "benchmarks": [r.as_dict() for r in results],
+    }
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:
+        return "unavailable"
+
+
+def main(argv=None) -> int:
+    """CLI entry point shared by ``python -m tools.bench`` and ``repro bench``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="deterministic hot-path microbenchmarks with regression gating")
+    parser.add_argument("targets", nargs="*",
+                        help="benchmark families or names to run (default: all)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads + 2 trials (CI budget, <60 s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale multiplier (default 1.0)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the results JSON artifact to FILE")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="merge FILE's values into the output as "
+                             "per-benchmark before/after baselines")
+    parser.add_argument("--compare", metavar="FILE",
+                        help="compare results against FILE and gate on "
+                             "--max-regression")
+    parser.add_argument("--max-regression", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed per-benchmark slowdown in percent "
+                             "(default 10)")
+    parser.add_argument("--input", metavar="FILE",
+                        help="use an existing results JSON instead of "
+                             "running benchmarks (offline compare/merge)")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="schema-validate FILE and exit")
+    parser.add_argument("--list", action="store_true", dest="list_benchmarks",
+                        help="list the benchmark registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_benchmarks:
+        for b in all_benchmarks():
+            print("%-24s %-8s %s" % (b.name, b.family, b.unit))
+        return 0
+
+    if args.validate:
+        with open(args.validate) as f:
+            doc = json.load(f)
+        problems = validate_document(doc)
+        if problems:
+            for p in problems:
+                print("schema: %s" % p, file=sys.stderr)
+            return 1
+        print("%s: valid (schema_version %d, %d benchmarks)"
+              % (args.validate, SCHEMA_VERSION, len(doc["benchmarks"])))
+        return 0
+
+    if args.input:
+        with open(args.input) as f:
+            doc = json.load(f)
+        problems = validate_document(doc, require_families=False)
+        if problems:
+            for p in problems:
+                print("schema (%s): %s" % (args.input, p), file=sys.stderr)
+            return 1
+    else:
+        mode = "smoke" if args.smoke else "full"
+        workload = Workload(mode=mode, scale=args.scale)
+        print("repro bench: %s workload (scale %.2g)" % (mode, args.scale))
+        results = run_suite(workload, args.targets, echo=print)
+        if not results:
+            print("no benchmarks matched %r" % (args.targets,), file=sys.stderr)
+            return 2
+        doc = build_document(results, mode)
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline_doc = json.load(f)
+        n = merge_baseline(doc, baseline_doc)
+        print("merged %d baseline values from %s" % (n, args.baseline))
+
+    exit_code = 0
+    if args.compare:
+        with open(args.compare) as f:
+            old_doc = json.load(f)
+        regressions, notes = compare_documents(old_doc, doc, args.max_regression)
+        for note in notes:
+            print("compare: %s" % note)
+        for reg in regressions:
+            print("REGRESSION %s" % reg, file=sys.stderr)
+        if regressions:
+            print("repro bench: %d regression(s) beyond the %.1f%% budget"
+                  % (len(regressions), args.max_regression), file=sys.stderr)
+            exit_code = 1
+        else:
+            print("compare: no regressions beyond the %.1f%% budget"
+                  % args.max_regression)
+
+    if args.out:
+        # full runs must carry all four families before they become a
+        # trajectory point; partial runs can still be written for iteration
+        problems = validate_document(
+            doc, require_families=not (args.targets or args.input))
+        if problems:
+            for p in problems:
+                print("schema: %s" % p, file=sys.stderr)
+            return 1
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print("wrote %s (%d benchmarks)" % (args.out, len(doc["benchmarks"])))
+
+    return exit_code

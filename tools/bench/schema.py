@@ -1,0 +1,187 @@
+"""BENCH_*.json document schema, validation, and regression comparison.
+
+The artifact is schema-versioned so the trajectory stays machine-readable
+across PRs.  Version 1 layout::
+
+    {
+      "schema_version": 1,
+      "meta": {
+        "tool": "repro bench",
+        "mode": "full" | "smoke",
+        "python": "3.11.7",
+        "platform": "Linux-...",
+        "numpy": "2.4.6",
+        "workload_seed": 1234
+      },
+      "benchmarks": [
+        {
+          "name": "tunnel.fig10a_4path",
+          "family": "tunnel",
+          "unit": "app_MB/s",
+          "value": 12.3,              # median trial throughput
+          "stddev": 0.4,
+          "trials": [12.1, 12.3, 12.5],
+          "baseline": {"value": 7.9, "stddev": 0.3},   # optional: pre-opt
+          "speedup": 1.56                              # optional, with baseline
+        }, ...
+      ]
+    }
+
+All units are throughputs — bigger is better — so regression checking is
+uniform: ``(old - new) / old * 100 > max_regression_pct`` fails.
+
+Validation is hand-rolled (no jsonschema dependency in the image); it
+returns a list of human-readable problems, empty when the document
+conforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "REQUIRED_FAMILIES",
+    "validate_document",
+    "compare_documents",
+    "merge_baseline",
+]
+
+SCHEMA_VERSION = 1
+
+#: The four hot-path families every trajectory point must cover.
+REQUIRED_FAMILIES = ("events", "gf", "tunnel", "wire")
+
+_META_REQUIRED = ("tool", "mode", "python", "platform")
+_BENCH_REQUIRED = ("name", "family", "unit", "value", "stddev", "trials")
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_document(doc, require_families: bool = True) -> List[str]:
+    """Check ``doc`` against schema version 1; returns problems found."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            "schema_version must be %d (got %r)"
+            % (SCHEMA_VERSION, doc.get("schema_version"))
+        )
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("meta must be an object")
+    else:
+        for key in _META_REQUIRED:
+            if not isinstance(meta.get(key), str):
+                problems.append("meta.%s must be a string" % key)
+        if meta.get("mode") not in ("full", "smoke", None):
+            problems.append("meta.mode must be 'full' or 'smoke'")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        problems.append("benchmarks must be a non-empty array")
+        return problems
+    seen_names = set()
+    for i, b in enumerate(benches):
+        where = "benchmarks[%d]" % i
+        if not isinstance(b, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        for key in _BENCH_REQUIRED:
+            if key not in b:
+                problems.append("%s missing key %r" % (where, key))
+        name = b.get("name")
+        if isinstance(name, str):
+            if name in seen_names:
+                problems.append("%s duplicate name %r" % (where, name))
+            seen_names.add(name)
+        for key in ("value", "stddev"):
+            if key in b and not _is_num(b[key]):
+                problems.append("%s.%s must be a number" % (where, key))
+        if "value" in b and _is_num(b["value"]) and b["value"] <= 0:
+            problems.append("%s.value must be positive" % where)
+        trials = b.get("trials")
+        if trials is not None and (
+            not isinstance(trials, list) or not all(_is_num(t) for t in trials)
+        ):
+            problems.append("%s.trials must be an array of numbers" % where)
+        baseline = b.get("baseline")
+        if baseline is not None:
+            if not isinstance(baseline, dict) or not _is_num(baseline.get("value", None)):
+                problems.append("%s.baseline must be {value, stddev}" % where)
+    if require_families:
+        got = {b.get("family") for b in benches if isinstance(b, dict)}
+        for fam in REQUIRED_FAMILIES:
+            if fam not in got:
+                problems.append("missing benchmark family %r" % fam)
+    return problems
+
+
+def compare_documents(
+    old: dict, new: dict, max_regression_pct: float
+) -> Tuple[List[str], List[str]]:
+    """Compare two documents benchmark-by-benchmark.
+
+    Returns ``(regressions, notes)``: ``regressions`` lists benchmarks
+    whose throughput dropped more than ``max_regression_pct`` percent
+    versus ``old`` (non-empty means the gate fails); ``notes`` describes
+    everything else (improvements, new/missing benchmarks).
+    """
+    old_by_name: Dict[str, dict] = {
+        b["name"]: b for b in old.get("benchmarks", []) if isinstance(b, dict)
+    }
+    regressions: List[str] = []
+    notes: List[str] = []
+    for b in new.get("benchmarks", []):
+        name = b.get("name")
+        prev = old_by_name.pop(name, None)
+        if prev is None:
+            notes.append("%s: new benchmark (no old value)" % name)
+            continue
+        old_v, new_v = prev.get("value", 0.0), b.get("value", 0.0)
+        if not old_v:
+            notes.append("%s: old value is zero; skipped" % name)
+            continue
+        delta_pct = (old_v - new_v) / old_v * 100.0
+        if delta_pct > max_regression_pct:
+            regressions.append(
+                "%s: %.4g -> %.4g %s (-%.1f%% > %.1f%% budget)"
+                % (name, old_v, new_v, b.get("unit", ""), delta_pct,
+                   max_regression_pct)
+            )
+        else:
+            notes.append(
+                "%s: %.4g -> %.4g %s (%+.1f%%)"
+                % (name, old_v, new_v, b.get("unit", ""), -delta_pct)
+            )
+    for name in sorted(old_by_name):
+        notes.append("%s: present in old run only" % name)
+    return regressions, notes
+
+
+def merge_baseline(doc: dict, baseline_doc: dict) -> int:
+    """Fold ``baseline_doc`` values into ``doc`` as per-benchmark baselines.
+
+    Matches benchmarks by name; returns how many were annotated.  Used to
+    record before/after pairs in one artifact: run the bench on the old
+    code, optimize, re-run with ``--baseline old.json``.
+    """
+    base_by_name = {
+        b["name"]: b for b in baseline_doc.get("benchmarks", [])
+        if isinstance(b, dict) and "name" in b
+    }
+    annotated = 0
+    for b in doc.get("benchmarks", []):
+        prev = base_by_name.get(b.get("name"))
+        if prev is None or not _is_num(prev.get("value", None)):
+            continue
+        b["baseline"] = {
+            "value": prev["value"],
+            "stddev": prev.get("stddev", 0.0),
+        }
+        if prev["value"]:
+            b["speedup"] = b["value"] / prev["value"]
+        annotated += 1
+    return annotated

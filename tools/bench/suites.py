@@ -1,0 +1,244 @@
+"""The benchmark families: events, gf, wire, tunnel.
+
+Four hot paths, one family each (§4.3.1/§5.2 motivate the GF(2^8) focus;
+Fig. 14 reports CPU load as a first-class result):
+
+* ``events``  — :class:`~repro.emulation.events.EventLoop` events/sec on
+  a schedule/fire workload and on a cancellation-heavy churn workload
+  (the pattern that used to leak cancelled heap entries);
+* ``gf``      — GF(2^8) kernel and Q-RLNC encode/decode MB/s, large and
+  sub-256-byte buffers (the two regimes the SIMD stand-in must cover);
+* ``wire``    — byte-level QUIC serialize/parse packets/sec;
+* ``tunnel``  — end-to-end application throughput of a fig10a-style
+  4-path CellFusion session (delivered app MB per wall-second, the
+  number the ≥1.5x regression gate watches).
+
+Workloads are pure functions of their seeds: same inputs every trial,
+every machine, every run — the wall clock is the only nondeterminism,
+and the harness's median-of-trials absorbs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import Benchmark, Workload
+
+__all__ = [
+    "all_benchmarks",
+    "families",
+]
+
+#: Deterministic workload seed shared by every family.
+WORKLOAD_SEED = 1234
+
+
+def _scaled(workload: Workload, full: int, smoke: int) -> int:
+    n = smoke if workload.smoke else full
+    return max(1, int(n * workload.scale))
+
+
+# -- events -----------------------------------------------------------------
+
+
+def _bench_events_schedule_fire(workload: Workload) -> float:
+    from repro.determinism import seeded_rng
+    from repro.emulation.events import EventLoop
+
+    n = _scaled(workload, 150_000, 15_000)
+    rng = seeded_rng(WORKLOAD_SEED, "events")
+    loop = EventLoop()
+    # half the events are pre-scheduled at seeded times, half are chained
+    # from callbacks (the pattern transports actually produce)
+    chain_every = 4
+
+    def on_fire(depth: int) -> None:
+        if depth > 0:
+            loop.call_later(0.001, on_fire, depth - 1)
+
+    for i in range(n // 2):
+        t = rng.random() * 10.0
+        if i % chain_every == 0:
+            loop.schedule(t, on_fire, 1)
+        else:
+            loop.schedule(t, on_fire, 0)
+    loop.run()
+    return float(loop.events_processed)
+
+
+def _bench_events_cancel_churn(workload: Workload) -> float:
+    from repro.determinism import seeded_rng
+    from repro.emulation.events import EventLoop
+
+    n = _scaled(workload, 120_000, 12_000)
+    rng = seeded_rng(WORKLOAD_SEED, "churn")
+    loop = EventLoop()
+    # timer-rearm churn: schedule far-future timers and cancel ~87% of
+    # them before they fire, exactly what restarted PeriodicTimers do
+    handles = []
+    ops = 0
+    for i in range(n):
+        h = loop.schedule(100.0 + rng.random(), lambda: None)
+        handles.append(h)
+        ops += 1
+        if i % 8 != 7:
+            handles[rng.randrange(len(handles))].cancel()
+            ops += 1
+    loop.run()
+    return float(ops)
+
+
+# -- gf ---------------------------------------------------------------------
+
+
+def _bench_gf_addmul_large(workload: Workload) -> float:
+    from repro.core.gf256 import gf_addmul_vec
+    from repro.determinism import seeded_rng
+
+    size = 1 << 20  # 1 MiB rows
+    iters = _scaled(workload, 48, 6)
+    rng = seeded_rng(WORKLOAD_SEED, "gf-large")
+    data = np.frombuffer(
+        bytes(rng.getrandbits(8) for _ in range(size)), dtype=np.uint8
+    )
+    acc = np.zeros(size, dtype=np.uint8)
+    for i in range(iters):
+        gf_addmul_vec(acc, data, (i * 37 + 3) % 255 + 1)
+    return iters * size / 1e6  # MB
+
+
+def _bench_gf_addmul_small(workload: Workload) -> float:
+    from repro.core.gf256 import gf_addmul_vec
+    from repro.determinism import seeded_rng
+
+    size = 64  # sub-256-byte regime: coefficient vectors, short payloads
+    iters = _scaled(workload, 120_000, 12_000)
+    rng = seeded_rng(WORKLOAD_SEED, "gf-small")
+    data = np.frombuffer(
+        bytes(rng.getrandbits(8) for _ in range(size)), dtype=np.uint8
+    )
+    acc = np.zeros(size, dtype=np.uint8)
+    for i in range(iters):
+        gf_addmul_vec(acc, data, (i * 37 + 3) % 255 + 1)
+    return iters * size / 1e6  # MB
+
+
+def _bench_rlnc_roundtrip(workload: Workload) -> float:
+    from repro.core.rlnc import RlncDecoder, RlncEncoder
+    from repro.determinism import seeded_rng
+
+    n, extra, payload_len = 10, 3, 1188  # one paper-default range
+    rounds = _scaled(workload, 300, 30)
+    rng = seeded_rng(WORKLOAD_SEED, "rlnc")
+    payloads = [
+        bytes(rng.getrandbits(8) for _ in range(payload_len)) for _ in range(n)
+    ]
+    total_bytes = 0
+    for r in range(rounds):
+        encoder = RlncEncoder()
+        start = r * n
+        for i, p in enumerate(payloads):
+            encoder.register(start + i, p)
+        decoder = RlncDecoder()
+        for k in range(n + extra):
+            seed = r * 1000 + k + 1
+            coded = encoder.encode(start, n, seed)
+            decoder.push(start, n, seed, coded)
+            total_bytes += len(coded)
+        if decoder.stats.ranges_completed < 1:
+            raise AssertionError("rlnc roundtrip failed to decode")
+    return total_bytes / 1e6  # MB
+
+
+# -- wire -------------------------------------------------------------------
+
+
+def _wire_corpus():
+    """A deterministic mix of data and ACK packets (built once per trial)."""
+    from repro.core.frames import XncNcFrame
+    from repro.determinism import seeded_rng
+    from repro.quic.packet import AckFrame, QuicPacket
+
+    rng = seeded_rng(WORKLOAD_SEED, "wire")
+    payload = bytes(rng.getrandbits(8) for _ in range(1188))
+    packets = []
+    for i in range(8):
+        if i % 4 == 3:
+            ack = AckFrame(
+                path_id=i % 4,
+                largest=1000 + i,
+                ack_delay=0.001,
+                ranges=((990 + i, 1000 + i), (970 + i, 980 + i), (950 + i, 960 + i)),
+            )
+            packets.append(QuicPacket(path_id=i % 4, packet_number=2000 + i,
+                                      frames=[ack], connection_id=7))
+        elif i % 4 == 2:
+            frame = XncNcFrame.coded(i * 10, 10, 42 + i, payload)
+            packets.append(QuicPacket(path_id=i % 4, packet_number=2000 + i,
+                                      frames=[frame], connection_id=7))
+        else:
+            frame = XncNcFrame.original(i, payload)
+            packets.append(QuicPacket(path_id=i % 4, packet_number=2000 + i,
+                                      frames=[frame], connection_id=7))
+    return packets
+
+
+def _bench_wire_serialize(workload: Workload) -> float:
+    from repro.quic.wire import serialize_packet
+
+    iters = _scaled(workload, 20_000, 2_000)
+    packets = _wire_corpus()
+    for _ in range(iters):
+        for pkt in packets:
+            serialize_packet(pkt)
+    return float(iters * len(packets))
+
+
+def _bench_wire_parse(workload: Workload) -> float:
+    from repro.quic.wire import parse_packet, serialize_packet
+
+    iters = _scaled(workload, 20_000, 2_000)
+    blobs = [serialize_packet(p) for p in _wire_corpus()]
+    for _ in range(iters):
+        for blob in blobs:
+            parse_packet(blob)
+    return float(iters * len(blobs))
+
+
+# -- tunnel -----------------------------------------------------------------
+
+
+def _bench_tunnel_fig10a(workload: Workload) -> float:
+    from repro.experiments.runner import run_stream
+
+    duration = 1.0 if workload.smoke else 4.0
+    result = run_stream("cellfusion", duration=duration, seed=0)
+    if result.packets_sent == 0:
+        raise AssertionError("tunnel benchmark produced no traffic")
+    mean_payload = result.client_stats.app_bytes_in / result.client_stats.app_packets_in
+    return result.packets_received * mean_payload / 1e6  # delivered app MB
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def all_benchmarks():
+    """Every benchmark, family-ordered (the BENCH_*.json order)."""
+    return [
+        Benchmark("events.schedule_fire", "events", "events/s",
+                  _bench_events_schedule_fire),
+        Benchmark("events.cancel_churn", "events", "ops/s",
+                  _bench_events_cancel_churn),
+        Benchmark("gf256.addmul_1MiB", "gf", "MB/s", _bench_gf_addmul_large),
+        Benchmark("gf256.addmul_64B", "gf", "MB/s", _bench_gf_addmul_small),
+        Benchmark("rlnc.roundtrip_n10", "gf", "MB/s", _bench_rlnc_roundtrip),
+        Benchmark("wire.serialize", "wire", "packets/s", _bench_wire_serialize),
+        Benchmark("wire.parse", "wire", "packets/s", _bench_wire_parse),
+        Benchmark("tunnel.fig10a_4path", "tunnel", "app_MB/s",
+                  _bench_tunnel_fig10a, trials=3, warmup=1),
+    ]
+
+
+def families():
+    """Sorted family names (schema requires at least these four)."""
+    return sorted({b.family for b in all_benchmarks()})

@@ -14,7 +14,11 @@
 #      is checked against the paper's invariants;
 #   3. the disabled-overhead gates: both the telemetry layer and the
 #      sanitizer must keep their off-mode cost bound under 5 % of the
-#      streaming hot path.
+#      streaming hot path;
+#   4. the benchmark harness smoke run: `repro bench --smoke` (tiny
+#      deterministic workloads, 60 s budget) plus schema validation of
+#      the emitted artifact and of the committed BENCH_*.json trajectory
+#      points.
 #
 # Usage: tools/ci_checks.sh [--fast]
 #   --fast skips stage 3 (the overhead micro-benchmarks).
@@ -68,5 +72,23 @@ else
     python tools/check_sanitizer_overhead.py
     python tools/check_telemetry_overhead.py
 fi
+
+echo "== stage 4: bench smoke + schema validation ========================="
+python -m pytest tests/test_bench.py -q
+SMOKE_OUT="${SMOKE_OUT:-bench-smoke.json}"
+t0=$(date +%s%N)
+python -m tools.bench --smoke --out "$SMOKE_OUT"
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "bench smoke in ${elapsed_ms} ms -> ${SMOKE_OUT}"
+if [ "$elapsed_ms" -ge 60000 ]; then
+    echo "bench smoke blew its 60 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+python -m tools.bench --validate "$SMOKE_OUT"
+for artifact in BENCH_*.json; do
+    [ -e "$artifact" ] || continue
+    python -m tools.bench --validate "$artifact"
+done
 
 echo "ci_checks: all stages passed"
