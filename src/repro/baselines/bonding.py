@@ -65,10 +65,11 @@ class BondingTunnelClient(TunnelClientBase):
         five_tuple: Optional[FiveTuple] = None,
         telemetry=None,
         sanitizer=None,
+        **kwargs,
     ):
         paths = paths or build_bonding_paths(emulator)
         super().__init__(loop, emulator, paths, BondingScheduler(five_tuple),
-                         telemetry=telemetry, sanitizer=sanitizer)
+                         telemetry=telemetry, sanitizer=sanitizer, **kwargs)
 
     def _build_frame(self, pkt: AppPacket) -> XncNcFrame:
         return XncNcFrame.original(pkt.packet_id, frame_payload(pkt.payload))

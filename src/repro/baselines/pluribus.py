@@ -82,9 +82,10 @@ class PluribusTunnelClient(TunnelClientBase):
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
         sanitizer=None,
+        **kwargs,
     ):
         super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
-                         telemetry=telemetry, sanitizer=sanitizer)
+                         telemetry=telemetry, sanitizer=sanitizer, **kwargs)
         self.config = config or PluribusConfig()
         self.encoder = RlncEncoder(simd=True)
         self._rng = seeded_rng(self.config.seed)

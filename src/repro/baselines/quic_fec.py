@@ -74,9 +74,10 @@ class FecTunnelClient(TunnelClientBase):
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
         sanitizer=None,
+        **kwargs,
     ):
         super().__init__(loop, emulator, paths, scheduler or RoundRobinScheduler(),
-                         telemetry=telemetry, sanitizer=sanitizer)
+                         telemetry=telemetry, sanitizer=sanitizer, **kwargs)
         self.config = config or FecConfig()
         self.encoder = RlncEncoder(simd=True)
         self._rng = seeded_rng(self.config.seed)

@@ -44,9 +44,10 @@ class ReliableTunnelClient(TunnelClientBase):
         scheduler: Scheduler,
         telemetry=None,
         sanitizer=None,
+        **kwargs,
     ):
         super().__init__(loop, emulator, paths, scheduler, telemetry=telemetry,
-                         sanitizer=sanitizer)
+                         sanitizer=sanitizer, **kwargs)
         self._payloads: Dict[int, AppPacket] = {}
         self._delivered: Set[int] = set()
         self._retx: Deque[int] = deque()
@@ -65,6 +66,12 @@ class ReliableTunnelClient(TunnelClientBase):
             self._delivered.add(app_id)
             self._payloads.pop(app_id, None)
             self._retx_queued.discard(app_id)
+
+    def _has_pending_work(self) -> bool:
+        # undelivered payloads await either first transmission or a
+        # retransmit — the watchdog must see them as pending work even
+        # after the base queues drain
+        return bool(self._payloads) or super()._has_pending_work()
 
     def _on_cc_lost(self, info: SentInfo, now: float) -> None:
         for app_id in info.app_ids:

@@ -21,6 +21,11 @@ checked against the paper's invariants, and the first breach raises
 (see docs/static-analysis.md).  ``REPRO_SANITIZE=1`` does the same for
 any entry point without touching flags.
 
+``run --faults PLAN.json`` arms deterministic fault injection for the
+session — blackouts, brownouts, RTT spikes, bandwidth cliffs, NAT
+rebinds and more, on a declarative schedule replayed exactly by
+``--fault-seed`` (see docs/robustness.md).
+
 ``run --telemetry`` turns on the observability layer for the session and
 prints the run summary (event counts, histogram tails, per-path
 timelines); ``--telemetry-out FILE`` additionally exports everything as
@@ -72,6 +77,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = bool(args.telemetry or args.telemetry_out)
+    plan = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        plan = FaultPlan.load(args.faults)
     result = run_stream(
         args.transport,
         duration=args.duration,
@@ -79,6 +89,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         video=VideoConfig(bitrate_mbps=args.bitrate, seed=args.seed + 1),
         telemetry=telemetry,
         sanitize=True if args.sanitize else None,
+        faults=plan,
+        fault_seed=args.fault_seed,
     )
     print(format_qoe_rows({args.transport: result}))
     if result.packet_delays:
@@ -86,6 +98,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("packet delay: " + "  ".join("%s=%.1fms" % (k, v * 1000) for k, v in pct.items()))
     print("delivery %.2f%%  redundancy %.2f%%"
           % (result.delivery_ratio * 100, result.redundancy_ratio * 100))
+    if result.fault_summary is not None:
+        fs = result.fault_summary
+        print("faults: %d applied, %d lifted, %d NAT flush(es), "
+              "%d health transition(s), final health [%s]"
+              % (fs["applied"], fs["lifted"], fs["nat_flushes"],
+                 fs["health_transitions"], ", ".join(fs["final_health"])))
+    if result.terminal_error:
+        print("TERMINAL: %s" % result.terminal_error)
     if telemetry:
         print()
         print(result.telemetry.summary_table())
@@ -218,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record and print packet-lifecycle telemetry")
     p_run.add_argument("--telemetry-out", metavar="FILE",
                        help="export telemetry as JSONL (implies --telemetry)")
+    p_run.add_argument("--faults", metavar="PLAN.json",
+                       help="arm a fault-injection plan for the session "
+                            "(see docs/robustness.md for the schema)")
+    p_run.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for fault randomness (independent of --seed)")
     p_run.add_argument("--sanitize", action="store_true",
                        help="arm the runtime protocol sanitizer (fail fast "
                             "on any invariant breach)")

@@ -32,29 +32,48 @@ class SnatTable:
 
     Forward: (proto, private_ip, private_port) -> public port on
     ``public_ip``.  Reverse: public port -> the original endpoint.
+
+    With ``idle_timeout`` set, mappings carry a last-use stamp (callers
+    pass ``now`` to :meth:`translate`/:meth:`reverse`) and idle entries
+    are evicted — lazily when an allocation finds the pool exhausted, or
+    eagerly via :meth:`expire_idle`.  Without it the table behaves as
+    before: mappings live until released, which on long soak runs
+    exhausts the port pool.  :meth:`flush` models a NAT rebind (the
+    middlebox rebooted / the mapping state is gone), the fault the
+    chaos layer injects.
     """
 
-    def __init__(self, public_ip: str, port_base: int = 20000, port_count: int = 40000):
+    def __init__(self, public_ip: str, port_base: int = 20000, port_count: int = 40000,
+                 idle_timeout: Optional[float] = None):
         if port_count <= 0:
             raise ValueError("port_count must be positive")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive (or None)")
         self.public_ip = public_ip
+        self.idle_timeout = idle_timeout
         self._port_base = port_base
         self._port_count = port_count
         self._next = 0
         self._forward: Dict[FlowKey, int] = {}
         self._reverse: Dict[Tuple[int, int], Tuple[str, int]] = {}
+        self._last_used: Dict[FlowKey, float] = {}
+        self.evictions = 0
+        self.flushes = 0
 
     def __len__(self) -> int:
         return len(self._forward)
 
-    def translate(self, proto: int, src_ip: str, src_port: int) -> Tuple[str, int]:
+    def translate(self, proto: int, src_ip: str, src_port: int,
+                  now: Optional[float] = None) -> Tuple[str, int]:
         """Map a private endpoint to (public_ip, public_port), allocating
-        a port on first use."""
+        a port on first use.  ``now`` refreshes the idle stamp."""
         key = (proto, src_ip, src_port)
         port = self._forward.get(key)
         if port is None:
             if len(self._forward) >= self._port_count:
-                raise NatError("SNAT port pool exhausted")
+                if not (self.idle_timeout is not None and now is not None
+                        and self.expire_idle(now)):
+                    raise NatError("SNAT port pool exhausted")
             for _ in range(self._port_count):
                 candidate = self._port_base + self._next
                 self._next = (self._next + 1) % self._port_count
@@ -65,19 +84,50 @@ class SnatTable:
                 raise NatError("SNAT port pool exhausted")
             self._forward[key] = port
             self._reverse[(proto, port)] = (src_ip, src_port)
+        if now is not None:
+            self._last_used[key] = now
         return self.public_ip, port
 
-    def reverse(self, proto: int, public_port: int) -> Tuple[str, int]:
-        """Original endpoint for return traffic hitting ``public_port``."""
+    def reverse(self, proto: int, public_port: int,
+                now: Optional[float] = None) -> Tuple[str, int]:
+        """Original endpoint for return traffic hitting ``public_port``.
+        Return traffic also keeps the mapping alive when ``now`` is given."""
         try:
-            return self._reverse[(proto, public_port)]
+            src_ip, src_port = self._reverse[(proto, public_port)]
         except KeyError:
             raise NatError("no SNAT mapping for proto %d port %d" % (proto, public_port))
+        if now is not None:
+            self._last_used[(proto, src_ip, src_port)] = now
+        return src_ip, src_port
 
     def release(self, proto: int, src_ip: str, src_port: int) -> None:
-        port = self._forward.pop((proto, src_ip, src_port), None)
+        key = (proto, src_ip, src_port)
+        port = self._forward.pop(key, None)
         if port is not None:
             self._reverse.pop((proto, port), None)
+        self._last_used.pop(key, None)
+
+    def expire_idle(self, now: float) -> int:
+        """Evict every mapping idle longer than ``idle_timeout``; returns
+        the eviction count.  No-op when no timeout is configured."""
+        if self.idle_timeout is None:
+            return 0
+        limit = self.idle_timeout
+        stale = [key for key in self._forward
+                 if now - self._last_used.get(key, 0.0) > limit]
+        for key in stale:
+            self.release(*key)
+        self.evictions += len(stale)
+        return len(stale)
+
+    def flush(self) -> int:
+        """Drop every mapping at once (NAT rebind); returns how many died."""
+        n = len(self._forward)
+        self._forward.clear()
+        self._reverse.clear()
+        self._last_used.clear()
+        self.flushes += 1
+        return n
 
 
 class TunAddressPool:

@@ -93,9 +93,10 @@ class XncTunnelClient(TunnelClientBase):
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
         sanitizer=None,
+        **kwargs,
     ):
         super().__init__(loop, emulator, paths, scheduler or MinRttScheduler(),
-                         telemetry=telemetry, sanitizer=sanitizer)
+                         telemetry=telemetry, sanitizer=sanitizer, **kwargs)
         self.config = config or XncConfig()
         self.encoder = RlncEncoder(simd=self.config.simd)
         self.retrans_queue = RetransmissionQueue(self.config.range_policy,
@@ -123,8 +124,10 @@ class XncTunnelClient(TunnelClientBase):
         framed = self.encoder.encode(pkt.packet_id, 1, 0)
         return XncNcFrame.original(pkt.packet_id, framed)
 
-    def _transmit_frame(self, path, frame, app_ids, is_recovery, is_dup=False, is_retx=False):
-        info = super()._transmit_frame(path, frame, app_ids, is_recovery, is_dup, is_retx)
+    def _transmit_frame(self, path, frame, app_ids, is_recovery, is_dup=False,
+                        is_retx=False, is_probe=False):
+        info = super()._transmit_frame(path, frame, app_ids, is_recovery,
+                                       is_dup, is_retx, is_probe)
         if not is_recovery:
             for app_id in app_ids:
                 meta = self._app_meta.get(app_id)

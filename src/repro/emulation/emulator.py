@@ -83,6 +83,23 @@ class MultipathEmulator:
     def path_ids(self) -> List[int]:
         return [c.path_id for c in self.channels]
 
+    def links_for(self, path_id: int = -1, direction: str = "both") -> List[EmulatedLink]:
+        """Fault-injection surface: the links matched by a path/direction
+        selector (``path_id`` -1 = every path; direction up|down|both)."""
+        if direction not in ("up", "down", "both"):
+            raise ValueError("direction must be up, down, or both")
+        out: List[EmulatedLink] = []
+        for c in self.channels:
+            if path_id >= 0 and c.path_id != path_id:
+                continue
+            if direction in ("up", "both"):
+                out.append(c.uplink)
+            if direction in ("down", "both"):
+                out.append(c.downlink)
+        if path_id >= 0 and not out:
+            raise ValueError("unknown path_id %d" % path_id)
+        return out
+
     def attach_server(self, on_uplink: Callable[[int, Any, float], None]) -> None:
         """Register the tunnel-server's uplink receive callback."""
         self._on_uplink = on_uplink

@@ -25,6 +25,7 @@ from .trace import LinkTrace, MTU_BYTES
 __all__ = [
     "DEFAULT_QUEUE_LIMIT_BYTES",
     "LinkStats",
+    "LinkFaultState",
     "EmulatedLink",
 ]
 
@@ -63,6 +64,32 @@ class _Queued:
     payload: Any
     size: int
     enqueue_time: float
+
+
+class LinkFaultState:
+    """The aggregate fault overlay one injector applies to one link.
+
+    Owned and recomputed by :class:`repro.faults.engine.FaultInjector`;
+    the link reads it through a single ``self.fault`` attribute that is
+    ``None`` whenever no fault is active, so the un-faulted hot path pays
+    one attribute load and one branch (the telemetry/sanitizer contract,
+    gated by ``tools/check_faults_overhead.py``).
+
+    ``rng`` is the injector's per-link seeded stream — fault randomness
+    never touches the trace loss RNG, so arming a plan perturbs nothing
+    outside its own draws.
+    """
+
+    __slots__ = ("loss_prob", "extra_delay", "bw_scale", "reorder_jitter",
+                 "dup_prob", "rng")
+
+    def __init__(self, rng):
+        self.loss_prob = 0.0      #: extra per-packet drop probability
+        self.extra_delay = 0.0    #: added one-way delay in seconds
+        self.bw_scale = 1.0       #: fraction of delivery opportunities kept
+        self.reorder_jitter = 0.0  #: uniform extra delay window (reordering)
+        self.dup_prob = 0.0       #: probability of duplicating a delivery
+        self.rng = rng
 
 
 class EmulatedLink:
@@ -111,6 +138,9 @@ class EmulatedLink:
         self._loss = trace.loss
         # a dead link: packets only ever drop at the queue limit
         self._dead = not self._opps
+        #: Fault-injection overlay; None = no active fault (the hot-path
+        #: guard), written only by repro.faults.engine.FaultInjector.
+        self.fault: "LinkFaultState | None" = None
 
     @property
     def queue_bytes(self) -> int:
@@ -184,24 +214,48 @@ class EmulatedLink:
             return
         # consume this opportunity
         self._opp_index += 1
+        fault = self.fault
+        if fault is not None and fault.bw_scale < 1.0 \
+                and fault.rng.random() >= fault.bw_scale:
+            # bandwidth cliff: the opportunity is wasted, the packet stays
+            # queued (capacity collapse -> queue buildup -> inherited delay,
+            # the Fig. 3(c) mechanism)
+            self._schedule_drain()
+            return
         item = self._queue.popleft()
         self._queue_bytes -= item.size
         lost = False
+        reason = "loss"
         if self.loss_enabled:
             p = self._loss.probability_at(self.loop.now, self._duration)
             if p > 0 and self._rng.random() < p:
                 lost = True
+        if not lost and fault is not None and fault.loss_prob > 0.0 \
+                and fault.rng.random() < fault.loss_prob:
+            lost = True
+            reason = "fault"
         if lost:
             self.stats.dropped_loss += 1
             self.stats.bytes_dropped += item.size
             tel = self.telemetry
             if tel.enabled:
                 tel.event(self.loop.now, "link_drop", path_id=self.path_id,
-                          dir=self.direction, reason="loss", size=item.size)
+                          dir=self.direction, reason=reason, size=item.size)
                 tel.count("link.%s.drop_loss" % (self.direction or "?"))
         else:
             self.stats.delivered += 1
             self.stats.bytes_delivered += item.size
             arrive = self.loop.now + self._base_delay
+            if fault is not None:
+                if fault.extra_delay > 0.0:
+                    arrive += fault.extra_delay
+                if fault.reorder_jitter > 0.0:
+                    arrive += fault.rng.random() * fault.reorder_jitter
             self.loop.schedule(arrive, self.deliver, item.payload, arrive)
+            if fault is not None and fault.dup_prob > 0.0 \
+                    and fault.rng.random() < fault.dup_prob:
+                dup_arrive = arrive + self._base_delay * 0.5
+                self.stats.delivered += 1
+                self.stats.bytes_delivered += item.size
+                self.loop.schedule(dup_arrive, self.deliver, item.payload, dup_arrive)
         self._schedule_drain()

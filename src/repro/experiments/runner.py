@@ -109,6 +109,11 @@ class StreamRunResult:
     frame_loss_fractions: List[float] = field(default_factory=list)
     #: The run's :class:`~repro.obs.Telemetry` when enabled, else None.
     telemetry: Optional[Telemetry] = None
+    #: Set when the client's stream watchdog declared a terminal stall.
+    terminal_error: Optional[str] = None
+    #: Fault-injection accounting when a plan was armed (applied/lifted/
+    #: nat_flushes/active_end plus health-machine counters), else None.
+    fault_summary: Optional[dict] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -228,6 +233,8 @@ def run_stream(
     drain_time: float = 1.5,
     telemetry: Union[bool, Telemetry] = False,
     sanitize=None,
+    faults=None,
+    fault_seed: int = 0,
 ) -> StreamRunResult:
     """Run one streaming session end to end and analyse it.
 
@@ -246,6 +253,13 @@ def run_stream(
     checker that raises :class:`~repro.sanitizer.SanitizerViolation` on
     the first invariant breach; the default ``None`` defers to the
     ``REPRO_SANITIZE`` environment hook; ``False`` forces it off.
+
+    ``faults`` arms deterministic fault injection: pass a
+    :class:`~repro.faults.FaultPlan` and the events are compiled onto
+    the loop before streaming starts (randomness drawn from
+    ``fault_seed``, independent of the trace RNGs).  The result's
+    ``fault_summary`` then carries the injector and health-machine
+    accounting.
     """
     loop = EventLoop()
     tel: Optional[Telemetry]
@@ -267,8 +281,15 @@ def run_stream(
     )
     if tel is not None:
         tel.start_sampling(loop, client.paths, emulator=emulator)
-    logger.debug("run_stream transport=%s duration=%.1fs seed=%d telemetry=%s",
-                 transport, duration, seed, tel is not None)
+    injector = None
+    if faults is not None:
+        from ..faults.engine import FaultInjector
+
+        injector = FaultInjector(loop, emulator, faults, seed=fault_seed, telemetry=tel)
+        injector.arm()
+    logger.debug("run_stream transport=%s duration=%.1fs seed=%d telemetry=%s faults=%d",
+                 transport, duration, seed, tel is not None,
+                 len(faults) if faults is not None else 0)
 
     video_cfg = video or VideoConfig()
     source = VideoSource(loop, lambda payload, frame_id: client.send_app_packet(payload, frame_id), video_cfg)
@@ -297,6 +318,18 @@ def run_stream(
         (1.0 - f.received_fraction) if f.expected_packets else 1.0 for f in frames
     ]
     uplink_loss = {pid: s.loss_rate for pid, s in emulator.uplink_stats().items()}
+    fault_summary = None
+    if injector is not None:
+        fault_summary = {
+            "applied": injector.applied,
+            "lifted": injector.lifted,
+            "nat_flushes": injector.nat_flushes,
+            "active_end": injector.active_count(),
+            "health_transitions": getattr(getattr(client, "health", None),
+                                          "transitions", 0),
+            "final_health": [getattr(p, "health", "active")
+                             for p in getattr(client, "paths", [])],
+        }
     return StreamRunResult(
         transport=transport,
         qoe=qoe,
@@ -311,6 +344,8 @@ def run_stream(
         frame_statuses=statuses,
         frame_loss_fractions=frame_loss,
         telemetry=tel,
+        terminal_error=getattr(client, "terminal_error", None),
+        fault_summary=fault_summary,
     )
 
 

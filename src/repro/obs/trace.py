@@ -32,6 +32,9 @@ __all__ = [
     "RECOVERY_TX",
     "DECODED",
     "EXPIRED",
+    "FAULT",
+    "PATH_HEALTH",
+    "WATCHDOG",
     "TraceBuffer",
     "write_jsonl",
     "read_jsonl",
@@ -51,10 +54,14 @@ RECOVERY_TX = "recovery_tx"    #: one coded/uncoded recovery transmission
 DECODED = "decoded"            #: receiver recovered / delivered the packet
 EXPIRED = "expired"            #: abandoned (stale video, §4.4.3)
 LINK_DROP = "link_drop"        #: emulated link dropped a wire packet
+FAULT = "fault"                #: injected fault applied/lifted (chaos layer)
+PATH_HEALTH = "path_health"    #: path health state-machine transition
+WATCHDOG = "watchdog"          #: stream watchdog declared a terminal stall
 
 EVENT_KINDS = (
     APP_IN, INGRESS_DROP, SCHEDULED, TX, ACK, QOE_LOSS, CC_LOSS,
     RANGE_FORMED, RECOVERY_TX, DECODED, EXPIRED, LINK_DROP,
+    FAULT, PATH_HEALTH, WATCHDOG,
 )
 
 

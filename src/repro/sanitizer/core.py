@@ -125,6 +125,9 @@ class NullSanitizer:
     def check_state_transition(self, old, new, allowed):
         pass
 
+    def check_path_transition(self, path_id, old, new, allowed):
+        pass
+
     def check_timer_progress(self, key, now):
         pass
 
@@ -373,6 +376,20 @@ class ProtocolSanitizer:
             self._fail("conn-transition",
                        "illegal connection state transition %s -> %s" % (old, new),
                        old=old, new=new)
+
+    # -- path health machine (multipath/path.py) -----------------------------------
+
+    def check_path_transition(self, path_id: int, old: str, new: str, allowed) -> None:
+        """Path-health lifecycle edges must be in the allowed set
+        (``ACTIVE -> DEGRADED -> SUSPENDED -> PROBING -> ACTIVE``); a
+        skipped or reversed edge means the degradation machine is
+        corrupting state (e.g. un-suspending without a probe verdict)."""
+        self._tick()
+        if (old, new) not in allowed:
+            self._fail("path-health-edge",
+                       "illegal path-health transition %s -> %s on path %d"
+                       % (old, new, path_id),
+                       path=path_id, old=old, new=new)
 
     # -- timers (quic/connection.py, any repeating callback) -----------------------
 

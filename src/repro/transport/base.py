@@ -27,12 +27,18 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from ..core.frames import XncNcFrame
 from ..emulation.emulator import MultipathEmulator
 from ..emulation.events import EventLoop, PeriodicTimer
-from ..multipath.path import PathManager, PathState
+from ..multipath.path import (
+    HEALTH_PROBING,
+    PathHealthConfig,
+    PathHealthMonitor,
+    PathManager,
+    PathState,
+)
 from ..multipath.scheduler.base import Scheduler
 from ..obs import NULL_TELEMETRY
 from ..obs import trace as ev
 from ..quic.ack import AckRangeTracker
-from ..quic.packet import TUNNEL_OVERHEAD, AckFrame, QuicPacket
+from ..quic.packet import TUNNEL_OVERHEAD, AckFrame, PingFrame, QuicPacket
 from ..sanitizer import sanitizer_or_default
 
 __all__ = [
@@ -56,6 +62,11 @@ CLIENT_TICK = 0.002
 #: device drops, which is how a real-time source sheds load into a slow
 #: tunnel instead of buffering forever.
 INGRESS_QUEUE_LIMIT = 512
+#: Stream watchdog: with work pending and no ACK progress for this many
+#: seconds the client declares a terminal stall and closes.  Generous by
+#: design — ordinary multi-PTO outages resolve via the health machine;
+#: the watchdog only catches a tunnel that can never make progress again.
+WATCHDOG_TIMEOUT = 30.0
 
 
 @dataclass
@@ -104,6 +115,9 @@ class ClientStats:
     expired_packets: int = 0
     ingress_dropped: int = 0
     acks_received: int = 0
+    probe_packets: int = 0
+    probe_bytes: int = 0
+    watchdog_closes: int = 0
 
     @property
     def redundancy_ratio(self) -> float:
@@ -138,6 +152,9 @@ class TunnelClientBase:
         connection_id: int = 0,
         telemetry=None,
         sanitizer=None,
+        health_config: Optional[PathHealthConfig] = None,
+        health_seed: int = 0,
+        watchdog_timeout: Optional[float] = WATCHDOG_TIMEOUT,
     ):
         self.loop = loop
         self.emulator = emulator
@@ -163,6 +180,19 @@ class TunnelClientBase:
         self._sent: Dict[int, Dict[int, SentInfo]] = {p.path_id: {} for p in paths}
         self._sent_order: Dict[int, Deque[int]] = {p.path_id: deque() for p in paths}
         self._largest_acked: Dict[int, int] = {p.path_id: -1 for p in paths}
+        #: Per-path health machine: degrades noisy paths, suspends dead
+        #: ones (excluded from scheduling and recovery budgets), and asks
+        #: for probes that bring recovered paths back.
+        self.health = PathHealthMonitor(
+            paths, config=health_config, seed=health_seed,
+            telemetry=self.telemetry, sanitizer=self.sanitizer,
+        )
+        #: Forward-progress watchdog (None disables): set when the tunnel
+        #: stalled terminally; checked by harnesses after close().
+        self.watchdog_timeout = watchdog_timeout
+        self.terminal_error: Optional[str] = None
+        self._watchdog_acks_seen = 0
+        self._watchdog_progress_time = loop.now
         emulator.attach_client(self._on_downlink)
         self._timer = PeriodicTimer(loop, tick, self._on_tick)
         self._timer.start(first_delay=tick)
@@ -284,6 +314,7 @@ class TunnelClientBase:
         is_recovery: bool,
         is_dup: bool = False,
         is_retx: bool = False,
+        is_probe: bool = False,
     ) -> SentInfo:
         """Wrap one frame into a QUIC packet and put it on a path."""
         now = self.loop.now
@@ -302,10 +333,16 @@ class TunnelClientBase:
         self._sent_order[path.path_id].append(pn)
         path.on_sent(size, now)
         if self.sanitizer.enabled:
+            # probes fly on suspended paths whose window is full of
+            # presumed-lost bytes; they are exempt from window discipline
             self.sanitizer.check_transmit(
                 path, pn, size,
-                window_disciplined=self.sanitize_window_discipline)
-        if is_recovery:
+                window_disciplined=(self.sanitize_window_discipline
+                                    and not is_probe))
+        if is_probe:
+            self.stats.probe_packets += 1
+            self.stats.probe_bytes += size
+        elif is_recovery:
             self.stats.recovery_packets += 1
             self.stats.recovery_bytes += size
         elif is_dup:
@@ -325,6 +362,8 @@ class TunnelClientBase:
                 attrs["dup"] = True
             if is_retx:
                 attrs["retx"] = True
+            if is_probe:
+                attrs["probe"] = True
             tel.event(now, kind, app_ids[0] if app_ids else -1,
                       path.path_id, **attrs)
             tel.count("client.%s" % kind)
@@ -458,8 +497,57 @@ class TunnelClientBase:
         for path in self.paths:
             self._detect_cc_losses(path.path_id, now)
             self._gc_sent(path.path_id)
+        self._health_tick(now)
+        self._watchdog_tick(now)
+        if self.closed:
+            return  # the watchdog fired
         self._on_tick_hook(now)
         self._pump()
+
+    def _health_tick(self, now: float) -> None:
+        """Advance the path-health machine; fly probes it asks for."""
+        for path, _old, new in self.health.tick(now):
+            if new == HEALTH_PROBING and path.probe_pending:
+                path.probe_pending = False
+                path.probes_sent += 1
+                self._transmit_frame(path, PingFrame(), (), is_recovery=False,
+                                     is_probe=True)
+
+    def _has_pending_work(self) -> bool:
+        """Work the watchdog should demand ACK progress on.
+
+        Subclasses that hold undelivered data in private backlogs (e.g.
+        a retransmission queue) must override to include them, or the
+        watchdog cannot see a stall once the shared queues drain.
+        """
+        if self._queue:
+            return True
+        return any(len(order) > 0 for order in self._sent_order.values())
+
+    def _watchdog_tick(self, now: float) -> None:
+        """Terminal-stall detector: pending work but no ACK progress."""
+        if self.watchdog_timeout is None:
+            return
+        acks = self.stats.acks_received
+        pending = self._has_pending_work()
+        if acks != self._watchdog_acks_seen or not pending:
+            self._watchdog_acks_seen = acks
+            self._watchdog_progress_time = now
+            return
+        stalled = now - self._watchdog_progress_time
+        if stalled <= self.watchdog_timeout:
+            return
+        self.terminal_error = (
+            "stream watchdog: no ACK progress for %.1fs with work pending"
+            % stalled)
+        self.stats.watchdog_closes += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(now, ev.WATCHDOG, stalled=stalled,
+                      backlog=len(self._queue),
+                      outstanding=sum(len(o) for o in self._sent_order.values()))
+            tel.count("client.watchdog_close")
+        self.close()
 
     def close(self) -> None:
         self.closed = True

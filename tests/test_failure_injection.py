@@ -3,16 +3,19 @@
 Each test wires a pathological network and checks the system degrades the
 way the design says it should — no crashes, no unbounded state, no
 permanently wedged streams.
-"""
 
-import numpy as np
-import pytest
+The timed scenarios (ACK blackout, flapping path, sustained blackout)
+express their adversity as :class:`repro.faults.FaultPlan` schedules over
+*clean* traces, compiled by :class:`repro.faults.FaultInjector` — the same
+engine `repro run --faults` uses — instead of hand-built loss processes.
+"""
 
 from repro.core.endpoint import XncConfig, XncTunnelClient, XncTunnelServer
 from repro.core.ranges import RangePolicy
 from repro.emulation.emulator import MultipathEmulator
 from repro.emulation.events import EventLoop
 from repro.emulation.trace import LinkTrace, LossProcess, opportunities_from_rate
+from repro.faults import FaultInjector, FaultPlanBuilder
 from repro.multipath.path import PathManager, PathState
 from repro.quic.cc.base import CongestionController
 
@@ -35,18 +38,26 @@ def xnc_pair(loop, emu, config=None):
     return client, server, received
 
 
+def arm_plan(loop, emu, plan):
+    injector = FaultInjector(loop, emu, plan)
+    injector.arm()
+    return injector
+
+
 class TestAckBlackout:
-    """The downlink (ACK path) dies while the uplink stays perfect."""
+    """The downlink (ACK path) dies while the uplink stays perfect.
+
+    The traces themselves are clean; an ``ack_blackout`` fault spanning
+    the whole run kills the downlink on every path.
+    """
 
     def _world(self):
         loop = EventLoop()
         duration = 30.0
         up = [make_trace("up0", 20.0, duration), make_trace("up1", 20.0, duration)]
-        dead_down = [
-            make_trace("d0", 20.0, duration, loss=LossProcess.constant(1.0)),
-            make_trace("d1", 20.0, duration, loss=LossProcess.constant(1.0)),
-        ]
-        emu = MultipathEmulator(loop, up, downlink_traces=dead_down)
+        down = [make_trace("d0", 20.0, duration), make_trace("d1", 20.0, duration)]
+        emu = MultipathEmulator(loop, up, downlink_traces=down)
+        arm_plan(loop, emu, FaultPlanBuilder().ack_blackout(0.0, duration).build())
         return loop, emu
 
     def test_data_still_delivered(self):
@@ -98,12 +109,14 @@ class TestFlappingPath:
     def test_stream_survives_flapping(self):
         loop = EventLoop()
         duration = 30.0
-        # path 0 alternates 2 s up / 2 s dead
-        times = np.arange(0.0, duration, 2.0)
-        probs = np.array([0.0 if i % 2 == 0 else 1.0 for i in range(len(times))])
-        flappy = make_trace("flappy", 20.0, duration, loss=LossProcess(times, probs))
+        # path 0 alternates 2 s up / 2 s dead: blackout windows on a plan
+        flappy = make_trace("flappy", 20.0, duration)
         steady = make_trace("steady", 20.0, duration)
         emu = MultipathEmulator(loop, [flappy, steady])
+        plan = FaultPlanBuilder()
+        for start in (2.0, 6.0, 10.0, 14.0):
+            plan.blackout(start, 2.0, path_id=0)
+        arm_plan(loop, emu, plan.build())
         client, server, received = xnc_pair(loop, emu)
         n = 2000
         for i in range(n):
@@ -166,8 +179,9 @@ class TestMemoryBounds:
     def test_encoder_pool_bounded_under_blackout(self):
         loop = EventLoop()
         duration = 60.0
-        dead = make_trace("dead", 20.0, duration, loss=LossProcess.constant(1.0))
+        dead = make_trace("dead", 20.0, duration)
         emu = MultipathEmulator(loop, [dead])
+        arm_plan(loop, emu, FaultPlanBuilder().blackout(0.0, duration).build())
         config = XncConfig(range_policy=RangePolicy(t_expire=0.3))
         client, server, received = xnc_pair(loop, emu, config)
         for i in range(3000):

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Seeded chaos soak from the command line (CI stage 5 smoke).
+
+Runs :func:`repro.faults.run_chaos_soak` — the full 4-path tunnel under a
+seeded random fault plan — asserts the robustness guarantees (delivery
+under surviving capacity, fault overlay drained, no terminal stall), and
+verifies determinism by re-running each seed and comparing outcome
+digests byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_soak.py                 # one short soak
+    PYTHONPATH=src python tools/chaos_soak.py --seeds 1 2 3 --duration 10
+    PYTHONPATH=src python tools/chaos_soak.py --transport mpquic --no-rerun
+"""
+
+import argparse
+import sys
+import time
+
+from repro.faults import SoakError, run_chaos_soak
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1],
+                        help="fault/trace seeds to soak (each fully reproducible)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="seconds of simulated streaming per soak")
+    parser.add_argument("--transport", default="cellfusion",
+                        help="transport under test")
+    parser.add_argument("--min-delivery", type=float, default=0.2,
+                        help="delivery-ratio floor for assert_healthy")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm the protocol sanitizer during the soak")
+    parser.add_argument("--no-rerun", action="store_true",
+                        help="skip the determinism rerun (faster, less strict)")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in args.seeds:
+        t0 = time.perf_counter()
+        report = run_chaos_soak(
+            seed, duration=args.duration, transport=args.transport,
+            sanitize=True if args.sanitize else None)
+        wall = time.perf_counter() - t0
+        print("seed %d: %d plan events, delivery %.1f%%, %d/%d faults "
+              "applied/lifted, %d NAT flush(es), %d health transition(s), "
+              "%d probe(s), final [%s]  (%.1fs wall)"
+              % (seed, report.plan_events, report.delivery_ratio * 100,
+                 report.faults_applied, report.faults_lifted,
+                 report.nat_flushes, report.health_transitions,
+                 report.probe_packets, ", ".join(report.final_health), wall))
+        try:
+            report.assert_healthy(min_delivery=args.min_delivery)
+        except SoakError as exc:
+            print("seed %d: FAIL — %s" % (seed, exc))
+            failures += 1
+            continue
+        if not args.no_rerun:
+            rerun = run_chaos_soak(
+                seed, duration=args.duration, transport=args.transport,
+                sanitize=True if args.sanitize else None)
+            if rerun.digest != report.digest:
+                print("seed %d: FAIL — rerun digest mismatch (%s != %s)"
+                      % (seed, rerun.digest[:16], report.digest[:16]))
+                failures += 1
+                continue
+            print("seed %d: rerun digest %s... matches" % (seed, report.digest[:16]))
+
+    if failures:
+        print("chaos soak: %d of %d seed(s) failed" % (failures, len(args.seeds)))
+        return 1
+    print("chaos soak: all %d seed(s) healthy and deterministic" % len(args.seeds))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Verify the disabled fault-injection hook stays within its overhead budget.
+
+The fault layer follows the repo's null-singleton contract: a link with no
+active fault carries ``self.fault = None``, and the drain path pays one
+attribute load plus a handful of ``is not None`` branches per packet.
+This script is the regression gate:
+
+1. **Micro-benchmark** the guard: a tight loop over the disabled pattern
+   (one attribute load, the same None-branches ``_drain`` performs)
+   versus the bare loop, giving ns/drain.
+2. **Count activations** for a representative streaming run: every wire
+   packet drained on any link direction evaluates the guard once
+   (uplink data + downlink ACKs, read off the run's client stats).
+3. **Bound the disabled overhead**: activations x guard cost as a
+   fraction of the fault-free wall time.  Fail beyond the threshold
+   (default 5 %, ``--threshold`` or ``REPRO_FAULTS_OVERHEAD_PCT``).
+
+The armed-mode cost is reported for information only; chaos runs are
+robustness tools, not the benchmark path.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_faults_overhead.py
+    PYTHONPATH=src python tools/check_faults_overhead.py --duration 6 --runs 5
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.runner import run_stream
+from repro.faults import random_plan
+
+DEFAULT_THRESHOLD_PCT = float(os.environ.get("REPRO_FAULTS_OVERHEAD_PCT", "5.0"))
+
+
+class _Carrier:
+    __slots__ = ("fault",)
+
+    def __init__(self):
+        self.fault = None
+
+
+def measure_guard_ns(iterations: int = 2_000_000) -> float:
+    """Per-drain cost of the disabled fault guard, in nanoseconds."""
+    link = _Carrier()
+
+    def guarded(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            # the _drain pattern: one load, then the per-stage branches
+            fault = link.fault
+            if fault is not None:
+                acc += 1
+            if fault is not None:
+                acc += 1
+            if fault is not None:
+                acc += 1
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    guarded(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    guarded(iterations)
+    with_guard = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of simulated streaming per run")
+    parser.add_argument("--seed", type=int, default=1, help="trace seed")
+    parser.add_argument("--runs", type=int, default=3, help="best-of-N runs")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                        help="max disabled overhead in percent")
+    args = parser.parse_args(argv)
+
+    guard_ns = measure_guard_ns()
+    print("disabled guard cost: %.0f ns/drain" % guard_ns)
+
+    times = []
+    result = None
+    for _ in range(args.runs):
+        t0 = time.perf_counter()
+        result = run_stream("cellfusion", duration=args.duration, seed=args.seed)
+        times.append(time.perf_counter() - t0)
+    off = min(times)
+
+    stats = result.client_stats
+    wire_up = (stats.first_tx_packets + stats.retx_packets
+               + stats.recovery_packets + stats.duplicate_packets
+               + stats.probe_packets)
+    wire_down = stats.acks_received
+    activations = wire_up + wire_down
+    print("drains per %.0fs run (sent + acked wire packets): %d"
+          % (args.duration, activations))
+
+    plan = random_plan(args.seed, args.duration)
+    times_on = []
+    for _ in range(args.runs):
+        t0 = time.perf_counter()
+        run_stream("cellfusion", duration=args.duration, seed=args.seed,
+                   faults=plan, fault_seed=args.seed)
+        times_on.append(time.perf_counter() - t0)
+    on = min(times_on)
+    print("wall time: faults off %.3fs, armed %.3fs (%+.1f%%, informational)"
+          % (off, on, (on - off) / off * 100.0))
+
+    bound_s = activations * guard_ns * 1e-9
+    bound_pct = bound_s / off * 100.0
+    print("disabled overhead bound: %d drains x %.0f ns = %.2f ms = %.2f%% of %.3fs"
+          % (activations, guard_ns, bound_s * 1000.0, bound_pct, off))
+
+    if bound_pct > args.threshold:
+        print("FAIL: disabled fault-hook overhead bound %.2f%% exceeds %.1f%%"
+              % (bound_pct, args.threshold))
+        return 1
+    print("OK: disabled fault-hook overhead bound %.2f%% <= %.1f%%"
+          % (bound_pct, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

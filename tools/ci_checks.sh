@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo static-analysis + sanitizer CI gate.
 #
-# Four stages, each fail-fast:
+# Five stages, each fail-fast:
 #   1. `repro lint` over the whole tree (tools/lint rules; exit 1 on any
 #      violation, including unjustified suppressions);
 #   1b. `repro lint --deep` — the whole-program pass (import graph, units
@@ -18,7 +18,10 @@
 #   4. the benchmark harness smoke run: `repro bench --smoke` (tiny
 #      deterministic workloads, 60 s budget) plus schema validation of
 #      the emitted artifact and of the committed BENCH_*.json trajectory
-#      points.
+#      points;
+#   5. the chaos-soak smoke: one seeded random fault plan against the
+#      full sanitized tunnel (tools/chaos_soak.py, 30 s budget) asserting
+#      delivery, drained fault state, and a byte-identical rerun digest.
 #
 # Usage: tools/ci_checks.sh [--fast]
 #   --fast skips stage 3 (the overhead micro-benchmarks).
@@ -71,6 +74,7 @@ else
     echo "== stage 3: disabled-overhead gates ================================="
     python tools/check_sanitizer_overhead.py
     python tools/check_telemetry_overhead.py
+    python tools/check_faults_overhead.py
 fi
 
 echo "== stage 4: bench smoke + schema validation ========================="
@@ -90,5 +94,16 @@ for artifact in BENCH_*.json; do
     [ -e "$artifact" ] || continue
     python -m tools.bench --validate "$artifact"
 done
+
+echo "== stage 5: chaos-soak smoke (seeded, 30 s budget) =================="
+t0=$(date +%s%N)
+python tools/chaos_soak.py --seeds 1 --duration 4 --sanitize
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "chaos soak in ${elapsed_ms} ms"
+if [ "$elapsed_ms" -ge 30000 ]; then
+    echo "chaos soak blew its 30 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
 
 echo "ci_checks: all stages passed"
