@@ -1,18 +1,48 @@
-"""Plain-text table rendering for benchmark output.
+"""Run reporting: ASCII tables and the self-contained HTML report.
 
-Every figure-reproduction benchmark prints its results through these
-helpers so EXPERIMENTS.md rows can be regenerated verbatim.
+Two layers share this module:
+
+* the plain-text table helpers every figure-reproduction benchmark
+  prints through, so EXPERIMENTS.md rows can be regenerated verbatim;
+* the **zero-dependency HTML report** behind ``repro report`` — one
+  file, no external assets or scripts, rendering inline-SVG delay CDFs,
+  per-path timelines with fault overlays, the span-tree delay
+  decomposition, and a causal span waterfall for the worst frames (see
+  docs/telemetry.md for the "why was this frame late?" walkthrough).
+
+Everything is deterministic: the same seeded run renders byte-identical
+HTML (no wall clock, no randomness, stable float formatting).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "format_table",
     "format_qoe_rows",
     "format_percentiles",
+    "render_cdf_svg",
+    "render_timeline_svg",
+    "render_waterfall_svg",
+    "render_html_report",
+    "write_html_report",
 ]
+
+#: Stage palette (lifecycle order, matches repro.obs.aggregate.STAGES).
+STAGE_COLORS = {
+    "packetise": "#8da0cb",
+    "queue": "#fc8d62",
+    "recovery": "#e78ac3",
+    "flight": "#66c2a5",
+}
+
+#: Per-path line palette (cycled by path id).
+PATH_COLORS = ("#4e79a7", "#f28e2b", "#59a14f", "#b07aa1", "#e15759", "#76b7b2")
+
+#: Fault-window overlay fill.
+FAULT_FILL = "#d62728"
 
 
 def format_table(
@@ -57,3 +87,424 @@ def format_qoe_rows(results: Dict[str, "object"]) -> str:
 def format_percentiles(name: str, pct: Dict[str, float], unit: str = "ms") -> str:
     parts = ", ".join("%s=%.1f%s" % (k, v, unit) for k, v in pct.items())
     return "%s: %s" % (name, parts)
+
+
+# -- SVG primitives ---------------------------------------------------------
+#
+# All coordinates are formatted with %.2f so renders are byte-stable and
+# diffs stay readable; every chart is a standalone <svg> element with its
+# own coordinate box (no CSS dependencies beyond the inline stylesheet).
+
+def _fmt(x: float) -> str:
+    return ("%.2f" % x).rstrip("0").rstrip(".")
+
+
+def _svg_open(width: int, height: int) -> str:
+    return ('<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+            'viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">'
+            % (width, height, width, height))
+
+
+def _axis_label(x: float, y: float, text: str, anchor: str = "middle") -> str:
+    return ('<text x="%s" y="%s" text-anchor="%s" fill="#555">%s</text>'
+            % (_fmt(x), _fmt(y), anchor, escape(text)))
+
+
+def render_cdf_svg(
+    series: Dict[str, Sequence[float]],
+    width: int = 460,
+    height: int = 240,
+    x_label: str = "delay (s)",
+) -> str:
+    """Empirical CDFs of one or more samples as an inline SVG.
+
+    The x axis is linear from 0 to the global p99.9 (clipping the extreme
+    tail keeps the body readable); each series is a step-free polyline
+    with a legend entry.  Empty input renders a placeholder box.
+    """
+    pad_l, pad_r, pad_t, pad_b = 46, 12, 10, 32
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    named = [(name, sorted(float(v) for v in vals))
+             for name, vals in series.items() if len(vals)]
+    parts = [_svg_open(width, height)]
+    parts.append('<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" '
+                 'stroke="#ccc"/>' % (pad_l, pad_t, plot_w, plot_h))
+    if not named:
+        parts.append(_axis_label(width / 2, height / 2, "(no samples)"))
+        parts.append("</svg>")
+        return "".join(parts)
+    all_sorted = sorted(v for _, vals in named for v in vals)
+    x_max = all_sorted[min(len(all_sorted) - 1,
+                           int(0.999 * (len(all_sorted) - 1)))]
+    if x_max <= 0:
+        x_max = 1.0
+
+    def sx(v: float) -> float:
+        return pad_l + min(1.0, v / x_max) * plot_w
+
+    def sy(p: float) -> float:
+        return pad_t + (1.0 - p) * plot_h
+
+    for frac in (0.0, 0.5, 0.95, 0.99, 1.0):
+        y = sy(frac)
+        parts.append('<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#ddd"/>'
+                     % (pad_l, _fmt(y), pad_l + plot_w, _fmt(y)))
+        parts.append(_axis_label(pad_l - 4, y + 4, "%.2f" % frac, "end"))
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = pad_l + frac * plot_w
+        parts.append(_axis_label(x, height - pad_b + 14, _fmt(frac * x_max)))
+    parts.append(_axis_label(pad_l + plot_w / 2, height - 4, x_label))
+    for i, (name, vals) in enumerate(named):
+        color = PATH_COLORS[i % len(PATH_COLORS)]
+        n = len(vals)
+        pts = []
+        step = max(1, n // 256)  # cap polyline size; endpoints always kept
+        for j in range(0, n, step):
+            pts.append("%s,%s" % (_fmt(sx(vals[j])), _fmt(sy((j + 1) / n))))
+        pts.append("%s,%s" % (_fmt(sx(vals[-1])), _fmt(sy(1.0))))
+        parts.append('<polyline points="%s" fill="none" stroke="%s" '
+                     'stroke-width="1.5"/>' % (" ".join(pts), color))
+        ly = pad_t + 14 + 14 * i
+        parts.append('<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s" '
+                     'stroke-width="2"/>' % (pad_l + 8, _fmt(ly - 4),
+                                             pad_l + 28, _fmt(ly - 4), color))
+        parts.append(_axis_label(pad_l + 32, ly, name, "start"))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _fault_rects(fault_windows, t0: float, t1: float, sx, pad_t: int,
+                 plot_h: int) -> List[str]:
+    """Translucent overlay rectangles for fault windows inside [t0, t1]."""
+    out = []
+    for start, end, kind in fault_windows:
+        if end <= t0 or start >= t1:
+            continue
+        a, b = max(start, t0), min(end, t1)
+        w = max(sx(b) - sx(a), 1.0)
+        out.append('<rect x="%s" y="%d" width="%s" height="%d" fill="%s" '
+                   'fill-opacity="0.15"><title>%s</title></rect>'
+                   % (_fmt(sx(a)), pad_t, _fmt(w), plot_h, FAULT_FILL,
+                      escape("%s %.2f-%.2fs" % (kind, start, end))))
+    return out
+
+
+def render_timeline_svg(
+    timelines: Dict[int, Sequence[object]],
+    field: str = "srtt",
+    scale: float = 1000.0,
+    y_label: str = "srtt (ms)",
+    fault_windows: Sequence[Tuple[float, float, str]] = (),
+    width: int = 680,
+    height: int = 200,
+) -> str:
+    """Per-path timelines of one :class:`PathSample` field as an SVG.
+
+    ``fault_windows`` (``(start, end, kind)`` triples, e.g. from the
+    run's fault spans) are shaded under the lines so "the RTT spike *is*
+    the injected blackout" reads directly off the chart.
+    """
+    pad_l, pad_r, pad_t, pad_b = 52, 10, 8, 30
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    parts = [_svg_open(width, height)]
+    parts.append('<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" '
+                 'stroke="#ccc"/>' % (pad_l, pad_t, plot_w, plot_h))
+    series = {pid: s for pid, s in timelines.items() if len(s)}
+    if not series:
+        parts.append(_axis_label(width / 2, height / 2, "(no samples)"))
+        parts.append("</svg>")
+        return "".join(parts)
+    t0 = min(s[0].t for s in series.values())
+    t1 = max(s[-1].t for s in series.values())
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    vals = [getattr(p, field) * scale
+            for s in series.values() for p in s
+            if getattr(p, field) is not None]
+    v_max = max(vals) if vals else 1.0
+    if v_max <= 0:
+        v_max = 1.0
+
+    def sx(t: float) -> float:
+        return pad_l + (t - t0) / (t1 - t0) * plot_w
+
+    def sy(v: float) -> float:
+        return pad_t + (1.0 - min(1.0, v / v_max)) * plot_h
+
+    parts.extend(_fault_rects(fault_windows, t0, t1, sx, pad_t, plot_h))
+    for frac in (0.0, 0.5, 1.0):
+        y = pad_t + (1.0 - frac) * plot_h
+        parts.append(_axis_label(pad_l - 4, y + 4, _fmt(frac * v_max), "end"))
+        x = pad_l + frac * plot_w
+        parts.append(_axis_label(x, height - pad_b + 14,
+                                 _fmt(t0 + frac * (t1 - t0)) + "s"))
+    parts.append(_axis_label(pad_l + plot_w / 2, height - 4, y_label))
+    for pid in sorted(series):
+        samples = series[pid]
+        color = PATH_COLORS[pid % len(PATH_COLORS)]
+        n = len(samples)
+        step = max(1, n // 512)
+        pts = []
+        for j in range(0, n, step):
+            p = samples[j]
+            v = getattr(p, field)
+            if v is None:
+                continue
+            pts.append("%s,%s" % (_fmt(sx(p.t)), _fmt(sy(v * scale))))
+        if pts:
+            parts.append('<polyline points="%s" fill="none" stroke="%s" '
+                         'stroke-width="1.2"/>' % (" ".join(pts), color))
+            parts.append('<text x="%d" y="%s" fill="%s">path %d</text>'
+                         % (pad_l + plot_w - 48,
+                            _fmt(pad_t + 12 + 13 * (pid % len(PATH_COLORS))),
+                            color, pid))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_waterfall_svg(
+    spans,
+    frame_entry: dict,
+    max_packets: int = 10,
+    width: int = 680,
+) -> str:
+    """Causal span waterfall for one decomposed frame.
+
+    Rows: the frame span, then its slowest ``max_packets`` packet spans
+    (slowest first), each with the wire transmissions that carried it
+    overlaid as darker ticks.  The worst packet — the one that completed
+    the frame — gets its critical-path stage split colored per
+    :data:`STAGE_COLORS`; hovering any bar shows exact times.
+    """
+    frame_sid = spans.lookup("frame", frame_entry["frame_id"])
+    frame = spans.get(frame_sid) if frame_sid else None
+    if frame is None or frame.end is None:
+        return "<p>(frame %s has no span)</p>" % escape(str(frame_entry["frame_id"]))
+    pkts = [p for p in spans.children(frame.span_id) if p.end is not None]
+    pkts.sort(key=lambda p: (-(p.end - p.start), p.span_id))
+    pkts = pkts[:max_packets]
+    tx_by_cause: Dict[int, List] = {}
+    for t in spans.spans("tx"):
+        cause = (t.attrs or {}).get("cause", 0)
+        if cause:
+            tx_by_cause.setdefault(cause, []).append(t)
+    t0, t1 = frame.start, frame.end
+    for p in pkts:
+        for t in tx_by_cause.get(p.span_id, ()):
+            if t.end is not None and t.end > t1:
+                t1 = t.end
+    if t1 <= t0:
+        t1 = t0 + 1e-3
+    pad_l, pad_r, row_h = 88, 10, 18
+    plot_w = width - pad_l - pad_r
+    rows = 1 + len(pkts)
+    height = rows * row_h + 34
+
+    def sx(t: float) -> float:
+        return pad_l + (t - t0) / (t1 - t0) * plot_w
+
+    def bar(y: float, a: float, b: float, color: str, title: str,
+            h: float = 10.0) -> str:
+        w = max(sx(b) - sx(a), 1.0)
+        return ('<rect x="%s" y="%s" width="%s" height="%s" fill="%s" rx="2">'
+                '<title>%s</title></rect>'
+                % (_fmt(sx(a)), _fmt(y), _fmt(w), _fmt(h), color, escape(title)))
+
+    parts = [_svg_open(width, height)]
+    y = 4.0
+    parts.append(_axis_label(pad_l - 6, y + 9, "frame %s" % frame_entry["frame_id"], "end"))
+    parts.append(bar(y, frame.start, frame.end, "#888",
+                     "frame %s: %.1f ms" % (frame_entry["frame_id"],
+                                            (frame.end - frame.start) * 1000)))
+    worst_key = frame_entry.get("worst_packet")
+    for p in pkts:
+        y += row_h
+        pid = (p.attrs or {}).get("packet", p.span_id)
+        parts.append(_axis_label(pad_l - 6, y + 9, "pkt %s" % pid, "end"))
+        txs = sorted(tx_by_cause.get(p.span_id, ()),
+                     key=lambda t: (t.start, t.span_id))
+        if pid == worst_key and "flight" in frame_entry:
+            # stage split along the critical path (sums to the frame total)
+            edges = [frame.start,
+                     p.start,
+                     txs[0].start if txs else p.start,
+                     txs[-1].start if txs else p.start,
+                     p.end]
+            for (a, b), stage in zip(zip(edges, edges[1:]),
+                                     ("packetise", "queue", "recovery", "flight")):
+                if b > a:
+                    parts.append(bar(y, a, b, STAGE_COLORS[stage],
+                                     "%s: %.1f ms" % (stage, (b - a) * 1000)))
+        else:
+            parts.append(bar(y, p.start, p.end, "#b8c4d9",
+                             "pkt %s: %.1f ms" % (pid, (p.end - p.start) * 1000)))
+        for t in txs:
+            end = t.end if t.end is not None else t.start
+            parts.append(bar(y + 2, t.start, end, "#44597a",
+                             "tx path %s pn %s" % ((t.attrs or {}).get("path", "?"),
+                                                   (t.attrs or {}).get("pn", "?")),
+                             h=6.0))
+    y += row_h + 14
+    parts.append(_axis_label(pad_l, y, "%ss" % _fmt(t0), "start"))
+    parts.append(_axis_label(pad_l + plot_w, y, "%ss" % _fmt(t1), "end"))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- HTML assembly ----------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 24px;
+       color: #222; max-width: 980px; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px;
+     border-bottom: 1px solid #ddd; padding-bottom: 4px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { background: #f5f7fa; border: 1px solid #dde3ea; border-radius: 6px;
+        padding: 8px 14px; min-width: 90px; }
+.tile .v { font-size: 18px; font-weight: 600; }
+.tile .k { font-size: 11px; color: #667; text-transform: uppercase; }
+table.data { border-collapse: collapse; font-size: 13px; }
+table.data th, table.data td { border: 1px solid #ccd; padding: 3px 10px;
+                               text-align: right; }
+table.data th { background: #eef1f5; }
+.legend span { display: inline-block; margin-right: 14px; font-size: 12px; }
+.legend i { display: inline-block; width: 12px; height: 12px;
+            border-radius: 2px; vertical-align: -2px; margin-right: 4px; }
+figure { margin: 10px 0; }
+figcaption { font-size: 12px; color: #667; }
+"""
+
+
+def _tile(key: str, value: str) -> str:
+    return ('<div class="tile"><div class="v">%s</div><div class="k">%s</div>'
+            '</div>' % (escape(value), escape(key)))
+
+
+def _fault_windows_from_spans(sp) -> List[Tuple[float, float, str]]:
+    out = []
+    for f in sp.spans("fault"):
+        end = f.end if f.end is not None else f.start
+        out.append((f.start, end, (f.attrs or {}).get("fault", "fault")))
+    out.sort()
+    return out
+
+
+def render_html_report(result, title: str = "CellFusion run report",
+                       worst_k: int = 3) -> str:
+    """One :class:`StreamRunResult` as a self-contained HTML page.
+
+    Sections degrade gracefully with what the run recorded: QoE tiles
+    always render; delay CDFs need packet delays; timelines need
+    telemetry sampling; the decomposition table and span waterfalls need
+    span tracing (``spans=True``).  The output embeds no scripts and
+    fetches nothing — a single file is the whole artifact.
+    """
+    from ..obs.aggregate import STAGES, decompose_spans, worst_frames
+
+    tel = getattr(result, "telemetry", None)
+    sp = tel.spans if (tel is not None and tel.enabled) else None
+    if sp is not None and not sp.enabled:
+        sp = None
+
+    html: List[str] = []
+    html.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    html.append("<title>%s</title><style>%s</style></head><body>"
+                % (escape(title), _CSS))
+    html.append("<h1>%s</h1>" % escape(title))
+
+    q = result.qoe
+    html.append('<div class="tiles">')
+    html.append(_tile("transport", result.transport))
+    html.append(_tile("duration", "%.1f s" % result.duration))
+    html.append(_tile("frames", str(result.frames_sent)))
+    html.append(_tile("avg fps", "%.2f" % q.avg_fps))
+    html.append(_tile("stall", "%.2f%%" % (q.stall_ratio * 100)))
+    html.append(_tile("ssim", "%.3f" % q.ssim))
+    html.append(_tile("delivery", "%.2f%%" % (result.delivery_ratio * 100)))
+    html.append(_tile("redundancy", "%.2f%%" % (result.redundancy_ratio * 100)))
+    if result.fault_summary:
+        html.append(_tile("faults", "%d applied" % result.fault_summary["applied"]))
+    if result.terminal_error:
+        html.append(_tile("terminal", result.terminal_error))
+    html.append("</div>")
+
+    dec = decompose_spans(sp) if sp is not None else []
+    series: Dict[str, Sequence[float]] = {}
+    if result.packet_delays:
+        series["packet delay"] = result.censored_packet_delays()
+    frame_totals = [e["total"] for e in dec if e.get("complete")]
+    if frame_totals:
+        series["frame delay"] = frame_totals
+    html.append("<h2>Delay CDFs</h2>")
+    html.append("<figure>%s<figcaption>Empirical CDFs; packet delays are "
+                "censored at 1 s for never-delivered packets.</figcaption>"
+                "</figure>" % render_cdf_svg(series))
+
+    fault_windows = _fault_windows_from_spans(sp) if sp is not None else []
+    timelines = tel.timelines if tel is not None and tel.enabled else {}
+    if timelines:
+        html.append("<h2>Per-path timelines</h2>")
+        html.append("<figure>%s</figure>" % render_timeline_svg(
+            timelines, "srtt", 1000.0, "srtt (ms)", fault_windows))
+        html.append("<figure>%s</figure>" % render_timeline_svg(
+            timelines, "cwnd", 1.0, "cwnd (bytes)", fault_windows))
+        if fault_windows:
+            html.append('<p class="legend"><span><i style="background:%s;'
+                        'opacity:.3"></i>injected fault window</span></p>'
+                        % FAULT_FILL)
+
+    if dec:
+        complete = [e for e in dec if e.get("complete") and "flight" in e]
+        html.append("<h2>Frame delay decomposition</h2>")
+        if complete:
+            n = len(complete)
+            rows = []
+            for stage in STAGES:
+                vals = sorted(e[stage] for e in complete)
+                rows.append("<tr><td style='text-align:left'>"
+                            "<i style='display:inline-block;width:10px;"
+                            "height:10px;background:%s'></i> %s</td>"
+                            "<td>%.1f</td><td>%.1f</td><td>%.1f</td></tr>"
+                            % (STAGE_COLORS[stage], stage,
+                               sum(vals) / n * 1000,
+                               vals[n // 2] * 1000,
+                               vals[min(n - 1, int(0.99 * (n - 1)))] * 1000))
+            html.append('<table class="data"><tr><th>stage</th><th>mean ms'
+                        '</th><th>p50 ms</th><th>p99 ms</th></tr>%s</table>'
+                        % "".join(rows))
+            incomplete = len(dec) - len(complete)
+            with_retx = sum(1 for e in complete if e.get("retx"))
+            html.append("<p>%d frames decomposed (%d incomplete at end of "
+                        "run); %d needed retransmission or recovery.</p>"
+                        % (len(dec), incomplete, with_retx))
+        html.append("<h2>Worst frames (span waterfall)</h2>")
+        for entry in worst_frames(dec, k=worst_k):
+            html.append("<h3 style='font-size:13px'>frame %s — %.1f ms total "
+                        "(packetise %.1f / queue %.1f / recovery %.1f / "
+                        "flight %.1f), %d packets, %d retx</h3>"
+                        % (entry["frame_id"], entry["total"] * 1000,
+                           entry["packetise"] * 1000, entry["queue"] * 1000,
+                           entry["recovery"] * 1000, entry["flight"] * 1000,
+                           entry["packets"], entry["retx"]))
+            html.append("<figure>%s</figure>" % render_waterfall_svg(sp, entry))
+        html.append('<p class="legend">%s</p>' % "".join(
+            '<span><i style="background:%s"></i>%s</span>'
+            % (STAGE_COLORS[s], s) for s in STAGES))
+    elif sp is None:
+        html.append("<p>(span tracing was off — run with spans enabled for "
+                    "delay decomposition and waterfalls)</p>")
+
+    html.append("</body></html>")
+    return "".join(html)
+
+
+def write_html_report(path: str, result, title: str = "CellFusion run report",
+                      worst_k: int = 3) -> int:
+    """Render and write the HTML report; returns the byte count."""
+    doc = render_html_report(result, title=title, worst_k=worst_k)
+    data = doc.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)

@@ -19,6 +19,7 @@ __all__ = [
     "reduction_pct",
     "SeriesSummary",
     "per_second_bins",
+    "loss_rate_per_second",
 ]
 
 
@@ -104,18 +105,42 @@ class SeriesSummary:
         return "%.3f ± %.3f [%.3f, %.3f] (n=%d)" % (self.mean, self.std, self.min, self.max, self.n)
 
 
+def _second_edges(t: np.ndarray, duration: Optional[float]) -> np.ndarray:
+    """1 Hz bin edges covering ``[0, duration)`` and every sample in ``t``.
+
+    Two edge cases both produce well-formed timelines instead of numpy
+    errors or silently wrong buckets:
+
+    * a zero-length run (``duration <= 0`` with no samples) yields a
+      single edge, which callers turn into empty arrays;
+    * ``np.histogram`` closes only its *last* bin on the right, so a
+      sample landing exactly on the final edge (e.g. an event stamped
+      precisely at ``duration``) would inflate the previous second — the
+      edges are extended past the last sample so it gets its own bucket.
+    """
+    if duration is None:
+        duration = float(t.max()) + 1.0 if t.size else 0.0
+    end = float(np.ceil(max(duration, 0.0)))
+    if t.size:
+        end = max(end, float(np.floor(t.max())) + 1.0)
+    return np.arange(0.0, end + 1.0)
+
+
 def per_second_bins(
     times: Sequence[float], values: Optional[Sequence[float]] = None, duration: Optional[float] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Aggregate event times into 1 Hz bins.
 
     With ``values`` None, returns counts per second; otherwise the mean of
-    ``values`` per second (NaN for empty seconds).
+    ``values`` per second (NaN for empty seconds).  Zero-length runs give
+    empty (but well-formed) arrays; samples exactly on the run-end
+    boundary extend the timeline by one second rather than inflating the
+    final bucket (see :func:`_second_edges`).
     """
     t = np.asarray(list(times), dtype=np.float64)
-    if duration is None:
-        duration = float(t.max()) + 1.0 if t.size else 1.0
-    edges = np.arange(0.0, np.ceil(duration) + 1.0)
+    edges = _second_edges(t, duration)
+    if edges.size < 2:
+        return edges[:0], edges[:0]
     counts, _ = np.histogram(t, bins=edges)
     if values is None:
         return edges[:-1], counts.astype(np.float64)
@@ -132,13 +157,17 @@ def loss_rate_per_second(
     """Per-second loss rate from (send time, id) pairs and a received-id set.
 
     Mirrors the §2.2 methodology: loss = 1 - received/sent within the
-    second of transmission.
+    second of transmission.  Shares :func:`_second_edges` with
+    :func:`per_second_bins`: zero-length runs yield empty arrays, and a
+    packet sent exactly at ``duration`` lands in its own second.
     """
     t = np.asarray(list(sent_times), dtype=np.float64)
     ids = list(sent_ids)
     if t.size != len(ids):
         raise ValueError("sent_times/sent_ids length mismatch")
-    edges = np.arange(0.0, np.ceil(duration) + 1.0)
+    edges = _second_edges(t, duration)
+    if edges.size < 2:
+        return edges[:0], edges[:0]
     sent_counts, _ = np.histogram(t, bins=edges)
     got = np.asarray([1.0 if i in recv_ids else 0.0 for i in ids])
     got_counts, _ = np.histogram(t, bins=edges, weights=got)

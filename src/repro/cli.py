@@ -4,6 +4,9 @@ Commands:
 
 * ``run`` — stream one session through a chosen transport and print the
   QoE summary (the quickstart, parameterised);
+* ``report`` — stream one session with span tracing armed and write the
+  self-contained HTML report (delay CDFs, per-path timelines with fault
+  overlays, frame delay decomposition, span waterfalls);
 * ``compare`` — run several transports over the same traces and print
   the comparison table (the Fig. 9/11 harness, parameterised);
 * ``figure`` — regenerate one paper figure's rows (fig3, fig8, fig9,
@@ -31,6 +34,12 @@ prints the run summary (event counts, histogram tails, per-path
 timelines); ``--telemetry-out FILE`` additionally exports everything as
 JSONL (see docs/telemetry.md).  ``--log-level`` configures the ``repro.*``
 logging namespace once for the whole process.
+
+``run --spans-out FILE`` arms causal span tracing and exports the span
+tree as JSONL; ``--chrome-trace FILE`` exports the same tree as Chrome
+trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+``--profile`` attaches the sim-time profiler and prints per-component
+event-loop attribution after the run (see docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -75,13 +84,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--bitrate", type=float, default=30.0, help="video bitrate in Mbps")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    telemetry = bool(args.telemetry or args.telemetry_out)
-    plan = None
-    if args.faults:
-        from .faults import FaultPlan
+def _load_plan(path: Optional[str]):
+    if not path:
+        return None
+    from .faults import FaultPlan
 
-        plan = FaultPlan.load(args.faults)
+    return FaultPlan.load(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spans = bool(args.spans_out or args.chrome_trace)
+    telemetry = bool(args.telemetry or args.telemetry_out or spans)
+    plan = _load_plan(args.faults)
     result = run_stream(
         args.transport,
         duration=args.duration,
@@ -91,6 +105,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sanitize=True if args.sanitize else None,
         faults=plan,
         fault_seed=args.fault_seed,
+        spans=spans,
+        profile=args.profile,
     )
     print(format_qoe_rows({args.transport: result}))
     if result.packet_delays:
@@ -112,11 +128,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.telemetry_out:
             n = result.telemetry.export_jsonl(args.telemetry_out)
             print("wrote %d telemetry records to %s" % (n, args.telemetry_out))
+        if args.spans_out:
+            n = result.telemetry.spans.export_jsonl(args.spans_out)
+            print("wrote %d span records to %s" % (n, args.spans_out))
+        if args.chrome_trace:
+            n = result.telemetry.spans.export_chrome_trace(args.chrome_trace)
+            print("wrote %d trace events to %s (load in Perfetto)"
+                  % (n, args.chrome_trace))
+    if args.profile and result.profile is not None:
+        from .obs import SimProfiler
+
+        print()
+        print(SimProfiler.format_report(result.profile))
     if args.sanitize:
         from .sanitizer import totals
 
         t = totals()
         print("sanitizer: %d checks, %d violations" % (t["checks"], t["violations"]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_html_report
+
+    result = run_stream(
+        args.transport,
+        duration=args.duration,
+        seed=args.seed,
+        video=VideoConfig(bitrate_mbps=args.bitrate, seed=args.seed + 1),
+        telemetry=True,
+        spans=True,
+        faults=_load_plan(args.faults),
+        fault_seed=args.fault_seed,
+    )
+    title = "CellFusion run report — %s, seed %d, %.0fs" % (
+        args.transport, args.seed, args.duration)
+    n = write_html_report(args.out, result, title=title)
+    print("wrote %s (%d bytes)" % (args.out, n))
+    if args.spans_out:
+        count = result.telemetry.spans.export_jsonl(args.spans_out)
+        print("wrote %d span records to %s" % (count, args.spans_out))
     return 0
 
 
@@ -246,7 +297,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="arm the runtime protocol sanitizer (fail fast "
                             "on any invariant breach)")
+    p_run.add_argument("--spans-out", metavar="FILE",
+                       help="arm causal span tracing and export the span "
+                            "tree as JSONL (implies --telemetry)")
+    p_run.add_argument("--chrome-trace", metavar="FILE",
+                       help="arm span tracing and export Chrome trace-event "
+                            "JSON (load in Perfetto / chrome://tracing)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the sim-time profiler and print "
+                            "per-component event-loop attribution")
     p_run.set_defaults(func=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="run one session and write the "
+                                          "self-contained HTML report")
+    p_rep.add_argument("transport", choices=TRANSPORT_NAMES)
+    _add_common(p_rep)
+    p_rep.add_argument("--out", default="report.html", metavar="FILE",
+                       help="output HTML path (default report.html)")
+    p_rep.add_argument("--faults", metavar="PLAN.json",
+                       help="arm a fault-injection plan (windows are shaded "
+                            "on the report's timelines)")
+    p_rep.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for fault randomness (independent of --seed)")
+    p_rep.add_argument("--spans-out", metavar="FILE",
+                       help="additionally export the span tree as JSONL")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_cmp = sub.add_parser("compare", help="compare transports on the same traces")
     p_cmp.add_argument("transports", nargs="+", choices=TRANSPORT_NAMES)

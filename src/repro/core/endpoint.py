@@ -184,6 +184,10 @@ class XncTunnelClient(TunnelClientBase):
                                   overdue=now - info.sent_time,
                                   threshold=threshold)
                         tel.count("xnc.qoe_loss")
+                        sp = tel.spans
+                        if sp.enabled and info.span_id:
+                            sp.annotate(info.span_id, qoe_loss=True,
+                                        qoe_t=now)
 
     def _on_cc_lost(self, info: SentInfo, now: float) -> None:
         # cc-level loss implies the QoE threshold has long passed; make sure
@@ -215,9 +219,13 @@ class XncTunnelClient(TunnelClientBase):
             self.stats.expired_packets += len(stale)
             self.ranges_expired += 1
             if tel.enabled:
+                sp = tel.spans
                 for pkt in stale:
                     tel.event(now, ev.EXPIRED, pkt.packet_id,
                               where="retrans_queue")
+                    if sp.enabled:
+                        sp.close(sp.lookup("packet", pkt.packet_id), now,
+                                 outcome="expired", where="retrans_queue")
                 tel.count("xnc.expired", len(stale))
         ranges = self.retrans_queue.ranges()
         for rng in ranges:
@@ -238,12 +246,19 @@ class XncTunnelClient(TunnelClientBase):
             san.check_range_recovery(rng, self.loop.now,
                                      self.config.range_policy.t_expire)
         tel = self.telemetry
+        range_sid = 0
         if tel.enabled:
             tel.event(self.loop.now, ev.RANGE_FORMED, rng.start_id,
                       count=rng.count, n_prime=plan.total_packets,
                       paths=[a.path_id for a in plan.allocations])
             tel.observe("xnc.range_size", rng.count)
             tel.observe("xnc.recovery_n", plan.total_packets)
+            sp = tel.spans
+            if sp.enabled:
+                range_sid = sp.open("range", self.loop.now,
+                                    start_id=rng.start_id, count=rng.count,
+                                    n_prime=plan.total_packets)
+                sp.bind("range", (rng.start_id, rng.count), range_sid)
         if rng.count == 1 or not self.config.coding_enabled:
             self._send_uncoded_recovery(rng, plan)
         else:
@@ -258,6 +273,13 @@ class XncTunnelClient(TunnelClientBase):
                         path, frame, tuple(rng.packet_ids()), is_recovery=True
                     )
                     cursor += 1
+            if range_sid:
+                # the block encode is instantaneous in sim time; an instant
+                # child keeps the coding stage visible in the waterfall
+                tel.spans.instant("encode", self.loop.now, parent=range_sid,
+                                  combos=plan.total_packets, k=rng.count)
+        if range_sid:
+            tel.spans.close(range_sid, self.loop.now, executed=True)
         # one-shot: forget the packets involved (§4.5.2)
         self.retrans_queue.pop_range(rng)
         for app_id in rng.packet_ids():
@@ -319,15 +341,31 @@ class XncTunnelServer(TunnelServerBase):
     def _handle_frame(self, path_id: int, frame: XncNcFrame, now: float) -> None:
         h = frame.header
         key = (h.start_id, h.packet_count)
+        tel = self.telemetry
         if h.is_coded and key not in self._range_first_seen:
             self._range_first_seen[key] = now
-        tel = self.telemetry
+            if tel.enabled:
+                sp = tel.spans
+                if sp.enabled:
+                    # decode span: first coded symbol of the range seen ->
+                    # first successful decode; `cause` links back to the
+                    # client's recovery range (same recorder per run)
+                    sid = sp.open("decode", now, start_id=h.start_id,
+                                  count=h.packet_count,
+                                  cause=sp.lookup("range", key))
+                    sp.bind("decode", key, sid)
+        decoded_any = False
         for packet_id, payload in self.decoder.push(h.start_id, h.packet_count, h.random_seed, frame.payload):
+            decoded_any = True
             if tel.enabled:
                 tel.event(now, ev.DECODED, packet_id, path_id,
                           coded=bool(h.is_coded))
                 tel.count("server.decoded")
             self.on_app_packet(packet_id, payload, now)
+        if decoded_any and h.is_coded and tel.enabled:
+            sp = tel.spans
+            if sp.enabled:
+                sp.close(sp.lookup("decode", key), now, outcome="decoded")
         self._gc_counter += 1
         if self._gc_counter % 512 == 0:
             self._gc_ranges(now)

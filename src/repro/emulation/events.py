@@ -76,6 +76,11 @@ class EventLoop:
         self._counter = itertools.count()
         self._cancelled = 0
         self.events_processed = 0
+        #: Optional :class:`repro.obs.SimProfiler` (duck-typed: anything
+        #: with ``call(callback, args, when)``).  None keeps dispatch bare
+        #: — one local ``is None`` test per event, bounded by the
+        #: disabled-overhead gate.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -155,7 +160,10 @@ class EventLoop:
         entry[_CALLBACK] = None
         entry[_ARGS] = ()
         self.events_processed += 1
-        callback(*args)
+        if self.profiler is None:
+            callback(*args)
+        else:
+            self.profiler.call(callback, args, self._now)
         return True
 
     def run_until(self, end_time: float) -> None:
@@ -166,6 +174,7 @@ class EventLoop:
         than paying two method calls per event via peek_time()/step().
         """
         heap = self._heap
+        profiler = self.profiler
         while heap:
             head = heap[0]
             if head[_CALLBACK] is None:
@@ -181,7 +190,10 @@ class EventLoop:
             entry[_CALLBACK] = None
             entry[_ARGS] = ()
             self.events_processed += 1
-            callback(*args)
+            if profiler is None:
+                callback(*args)
+            else:
+                profiler.call(callback, args, when)
         self._now = max(self._now, end_time)
 
     def run(self, max_events: int = 50_000_000) -> None:

@@ -195,6 +195,10 @@ class EmulatedLink:
                 tel.event(self.loop.now, "link_drop", path_id=self.path_id,
                           dir=self.direction, reason="queue", size=size)
                 tel.count("link.%s.drop_queue" % (self.direction or "?"))
+                sp = tel.spans
+                if sp.enabled:
+                    sp.instant("drop", self.loop.now, path=self.path_id,
+                               dir=self.direction, reason="queue")
             return False
         self._queue.append(_Queued(payload, size, self.loop.now))
         self._queue_bytes += size
@@ -242,6 +246,10 @@ class EmulatedLink:
                 tel.event(self.loop.now, "link_drop", path_id=self.path_id,
                           dir=self.direction, reason=reason, size=item.size)
                 tel.count("link.%s.drop_loss" % (self.direction or "?"))
+                sp = tel.spans
+                if sp.enabled:
+                    sp.instant("drop", self.loop.now, path=self.path_id,
+                               dir=self.direction, reason=reason)
         else:
             self.stats.delivered += 1
             self.stats.bytes_delivered += item.size

@@ -114,6 +114,9 @@ class StreamRunResult:
     #: Fault-injection accounting when a plan was armed (applied/lifted/
     #: nat_flushes/active_end plus health-machine counters), else None.
     fault_summary: Optional[dict] = None
+    #: Structured :meth:`repro.obs.SimProfiler.report` for profile=True
+    #: runs (deterministic counts + informational wall time), else None.
+    profile: Optional[dict] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -235,6 +238,8 @@ def run_stream(
     sanitize=None,
     faults=None,
     fault_seed: int = 0,
+    spans: bool = False,
+    profile: bool = False,
 ) -> StreamRunResult:
     """Run one streaming session end to end and analyse it.
 
@@ -260,10 +265,23 @@ def run_stream(
     ``fault_seed``, independent of the trace RNGs).  The result's
     ``fault_summary`` then carries the injector and health-machine
     accounting.
+
+    ``spans`` arms causal span tracing on top of telemetry (implying
+    ``telemetry=True`` when it was off): every frame, packet,
+    transmission, coding range, decode, and playout event becomes a
+    sim-clock span with parent/cause links, readable off
+    ``result.telemetry.spans`` (export with
+    :meth:`~repro.obs.SpanRecorder.export_jsonl` /
+    :meth:`~repro.obs.SpanRecorder.export_chrome_trace`).
+
+    ``profile`` attaches a :class:`~repro.obs.SimProfiler` to the event
+    loop and fills the result's ``profile`` field with per-component
+    callback attribution (deterministic call counts; wall time is
+    informational).
     """
     loop = EventLoop()
     tel: Optional[Telemetry]
-    if telemetry is True:
+    if telemetry is True or (spans and not telemetry):
         tel = Telemetry()
     elif telemetry:
         tel = telemetry
@@ -271,10 +289,18 @@ def run_stream(
         tel = None
     if tel is not None:
         tel.bind_clock(loop)
+        if spans:
+            tel.enable_spans()
+    profiler = None
+    if profile:
+        from ..obs import SimProfiler
+
+        profiler = SimProfiler()
+        loop.profiler = profiler
     if uplink_traces is None:
         uplink_traces = generate_fleet_traces(duration=duration, seed=seed)
     emulator = MultipathEmulator(loop, uplink_traces, seed=seed, telemetry=tel)
-    receiver = VideoReceiver()
+    receiver = VideoReceiver(telemetry=tel)
     client, server = make_transport(
         transport, loop, emulator, receiver.on_app_packet, xnc_config,
         telemetry=tel, sanitize=sanitize,
@@ -292,7 +318,8 @@ def run_stream(
                  len(faults) if faults is not None else 0)
 
     video_cfg = video or VideoConfig()
-    source = VideoSource(loop, lambda payload, frame_id: client.send_app_packet(payload, frame_id), video_cfg)
+    source = VideoSource(loop, lambda payload, frame_id: client.send_app_packet(payload, frame_id), video_cfg,
+                         telemetry=tel)
     source.start(first_delay=0.01)
 
     loop.run_until(duration)
@@ -300,6 +327,8 @@ def run_stream(
     loop.run_until(duration + drain_time)
     client.close()
     server.close()
+    if tel is not None and tel.spans.enabled:
+        tel.spans.finish(loop.now)
     if tel is not None:
         tel.stop_sampling()
         tel.observe_many("e2e.packet_delay", receiver.packet_delays)
@@ -346,6 +375,7 @@ def run_stream(
         telemetry=tel,
         terminal_error=getattr(client, "terminal_error", None),
         fault_summary=fault_summary,
+        profile=profiler.report() if profiler is not None else None,
     )
 
 

@@ -101,6 +101,8 @@ class FaultInjector:
         # the live _Effect of each in-window event, keyed by event identity
         # (begin and end receive the same FaultEvent instance from arm())
         self._event_effects: Dict[int, _Effect] = {}
+        # open causal fault span per in-window event, same key
+        self._event_spans: Dict[int, int] = {}
         plan.validate(path_count=emulator.path_count)
 
     def register_nat(self, table) -> None:
@@ -185,6 +187,18 @@ class FaultInjector:
             self._emit(event, "begin", nat_mappings_dropped=dropped)
         else:
             self._emit(event, "begin")
+        tel = self.telemetry
+        if tel.enabled:
+            sp = tel.spans
+            if sp.enabled:
+                attrs = {"fault": event.kind, "direction": event.direction}
+                if event.path_id >= 0:
+                    attrs["path"] = event.path_id
+                if event.duration > 0.0:
+                    self._event_spans[id(event)] = sp.open(
+                        "fault", self.loop.now, **attrs)
+                else:
+                    sp.instant("fault", self.loop.now, **attrs)
         effect = _effect_for(event)
         if effect is None:
             return
@@ -208,3 +222,6 @@ class FaultInjector:
                 self._recompute(link)
                 touched += 1
         self._emit(event, "end", links=touched)
+        sid = self._event_spans.pop(id(event), 0)
+        if sid:
+            self.telemetry.spans.close(sid, self.loop.now, lifted=True)

@@ -316,6 +316,10 @@ class PathHealthMonitor:
                       loss_ewma=round(path.loss_ewma, 4),
                       silence=round(path.ack_silence(now), 6))
             tel.count("path.health.%s" % new)
+            sp = tel.spans
+            if sp.enabled:
+                sp.instant("health", now, path=path.path_id,
+                           old=old, new=new, reason=reason)
 
     # -- the machine -------------------------------------------------------
 

@@ -1,12 +1,23 @@
-"""Unified observability layer: metrics, packet-lifecycle trace, timelines.
+"""Unified observability layer: metrics, trace, timelines, spans, profiler.
 
 The one import site for instrumentation: endpoints take a
 :class:`Telemetry` handle (defaulting to the no-op :data:`NULL_TELEMETRY`)
-and emit lifecycle events, metrics, and per-path samples through it.  See
-``docs/telemetry.md``.
+and emit lifecycle events, metrics, per-path samples, and causal spans
+through it.  :class:`SimProfiler` attaches to the event loop for
+per-component time attribution, and :class:`RunAggregate` is the
+mergeable fleet-rollup primitive.  See ``docs/telemetry.md``.
 """
 
+from .aggregate import (
+    STAGES,
+    RunAggregate,
+    decompose_spans,
+    observe_decomposition,
+    worst_frames,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import SimProfiler, component_of
+from .spans import NULL_SPANS, NullSpanRecorder, Span, SpanRecorder
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .timeline import DEFAULT_SAMPLE_INTERVAL, PathSample, PathTimelineSampler, sample_path
 from .trace import (
@@ -33,6 +44,17 @@ __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",
+    "Span",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "NULL_SPANS",
+    "SimProfiler",
+    "component_of",
+    "RunAggregate",
+    "STAGES",
+    "decompose_spans",
+    "observe_decomposition",
+    "worst_frames",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -13,6 +13,13 @@ up with trace events and path-timeline samples from the same run:
   error of about half the growth factor — plenty for delay CDFs spanning
   100 µs to 10 s.
 
+Every instrument supports an **associative, commutative** in-place
+``merge(other)`` — the primitive fleet sharding needs: per-vehicle (or
+per-PoP) registries merge pairwise in any grouping and produce the same
+rollup as one global registry would have.  For histograms this holds
+*exactly* (bucket tables are sparse integer maps over a shared geometric
+grid), which is what makes fleet-level delay CDFs honest.
+
 Everything here is plain Python on purpose: the registry must import (and
 no-op) on machines with nothing but the standard library.
 """
@@ -45,6 +52,11 @@ class Counter:
     def inc(self, n: int = 1) -> None:
         self.value += n
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter in (associative: counts sum)."""
+        self.value += other.value
+        return self
+
     def as_dict(self) -> dict:
         return {"name": self.name, "kind": "counter", "value": self.value}
 
@@ -62,6 +74,13 @@ class Gauge:
     def set(self, value: float, now: float) -> None:
         self.value = value
         self.updated_at = now
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Fold another gauge in: the later sim-time write wins."""
+        if other.updated_at > self.updated_at:
+            self.value = other.value
+            self.updated_at = other.updated_at
+        return self
 
     def as_dict(self) -> dict:
         return {
@@ -141,6 +160,31 @@ class Histogram:
         for value in values:
             idx = index(value)
             buckets[idx] = buckets.get(idx, 0) + 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in (exactly associative).
+
+        Both sides must share the geometric grid (``growth`` and
+        ``min_value``): bucket indices then mean the same value range on
+        both sides and the merge is a plain sparse-map sum, so any merge
+        tree over the same shards yields identical buckets, count, sum,
+        and extremes — the property the fleet-rollup tests pin.
+        """
+        if (other.growth != self.growth or other.min_value != self.min_value):
+            raise ValueError(
+                "cannot merge histograms on different grids: "
+                "growth %r/%r min_value %r/%r"
+                % (self.growth, other.growth, self.min_value, other.min_value))
+        buckets = self._buckets
+        for idx, n in other._buckets.items():
+            buckets[idx] = buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
 
     @property
     def mean(self) -> float:
@@ -226,6 +270,27 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value, self.clock())
+
+    # -- fleet rollup ----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold every instrument of ``other`` into this registry.
+
+        Instruments are matched by name and created on first sight (a
+        new histogram adopts the incoming grid), so merging shard
+        registries in any pairwise order reproduces the global registry.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, g in other._gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram(
+                    name, growth=h.growth, min_value=h.min_value)
+            mine.merge(h)
+        return self
 
     # -- export ----------------------------------------------------------------
 

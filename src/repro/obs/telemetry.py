@@ -27,6 +27,7 @@ import logging
 from typing import Dict, Iterator, List, Optional
 
 from .metrics import MetricsRegistry
+from .spans import NULL_SPANS, SpanRecorder
 from .timeline import DEFAULT_SAMPLE_INTERVAL, PathSample, PathTimelineSampler
 from .trace import TraceBuffer, write_jsonl
 
@@ -52,6 +53,14 @@ class Telemetry:
         self.stats: Dict[str, dict] = {}
         self.sample_interval = sample_interval
         self._sampler: Optional[PathTimelineSampler] = None
+        #: Causal span recorder; :data:`NULL_SPANS` until enable_spans().
+        self.spans = NULL_SPANS
+
+    def enable_spans(self, capacity: int = SpanRecorder.DEFAULT_CAPACITY) -> SpanRecorder:
+        """Attach a live span recorder (idempotent); returns it."""
+        if not self.spans.enabled:
+            self.spans = SpanRecorder(capacity)
+        return self.spans
 
     # -- clock ------------------------------------------------------------------
 
@@ -108,12 +117,22 @@ class Telemetry:
     # -- export -------------------------------------------------------------------
 
     def records(self) -> Iterator[dict]:
-        """Every telemetry record as a JSONL-ready dict."""
+        """Every telemetry record as a JSONL-ready dict.
+
+        Ring-buffer overflow is surfaced, not swallowed: when the trace
+        ring evicted events, the stream carries a ``telemetry.
+        dropped_events`` counter (idempotently pinned to the eviction
+        count) and ends with an explicit ``trace_drops`` footer, so a
+        truncated export can never be mistaken for a complete one.
+        """
+        evicted = self.trace.evicted
+        if evicted:
+            self.metrics.counter("telemetry.dropped_events").value = evicted
         yield {
             "type": "meta",
             "events_buffered": len(self.trace),
             "events_emitted": self.trace.emitted,
-            "events_evicted": self.trace.evicted,
+            "events_evicted": evicted,
             "sample_interval": self.sample_interval,
         }
         for e in self.trace.events():
@@ -130,6 +149,12 @@ class Telemetry:
                 yield rec
         for label in sorted(self.stats):
             yield {"type": "stats", "label": label, "stats": self.stats[label]}
+        if evicted:
+            yield {
+                "type": "trace_drops",
+                "dropped_events": evicted,
+                "events_emitted": self.trace.emitted,
+            }
 
     def export_jsonl(self, path: str) -> int:
         """Write all records to ``path``; returns the line count."""
@@ -200,6 +225,10 @@ class NullTelemetry:
     trace = None
     timelines: Dict[int, List[PathSample]] = {}
     stats: Dict[str, dict] = {}
+    spans = NULL_SPANS
+
+    def enable_spans(self, capacity: int = 0):
+        return NULL_SPANS
 
     def bind_clock(self, loop) -> None:
         pass

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from ..emulation.events import EventLoop
+from ..obs import NULL_TELEMETRY
 from ..sanitizer import sanitizer_or_default
 
 __all__ = [
@@ -144,6 +145,7 @@ class QuicConnection:
         local_params: Optional[TransportParameters] = None,
         on_established: Optional[Callable[["QuicConnection"], None]] = None,
         sanitizer=None,
+        telemetry=None,
     ):
         self.loop = loop
         self.is_client = is_client
@@ -152,6 +154,8 @@ class QuicConnection:
         self.on_established = on_established
         self.state = self.IDLE
         self.sanitizer = sanitizer_or_default(sanitizer, label="QuicConnection")
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._hs_span = 0
         self.cids = ConnectionIdManager()
         self.paths: List[int] = []
         self.last_activity = loop.now
@@ -173,6 +177,11 @@ class QuicConnection:
         if self.state not in (self.IDLE,):
             raise HandshakeError("connection already %s" % self.state)
         self._set_state(self.HANDSHAKING)
+        tel = self.telemetry
+        if tel.enabled:
+            sp = tel.spans
+            if sp.enabled:
+                self._hs_span = sp.open("handshake", self.loop.now, rtt=rtt)
         self.peer = server
         self.loop.call_later(rtt / 2, server._on_client_hello, self, rtt)
 
@@ -194,10 +203,17 @@ class QuicConnection:
     def _on_server_hello(self, negotiated: TransportParameters) -> None:
         self.negotiated = negotiated
         self._set_state(self.ESTABLISHED)
+        if self._hs_span:
+            self.telemetry.spans.close(self._hs_span, self.loop.now,
+                                       outcome="established",
+                                       paths=negotiated.initial_max_paths)
         self._finish_establish()
 
     def _on_handshake_failed(self) -> None:
         self._set_state(self.CLOSED)
+        if self._hs_span:
+            self.telemetry.spans.close(self._hs_span, self.loop.now,
+                                       outcome="failed")
 
     def _finish_establish(self) -> None:
         self.last_activity = self.loop.now
@@ -275,13 +291,16 @@ def establish_tunnel_connection(
     rtt: float = 0.050,
     client_params: Optional[TransportParameters] = None,
     server_params: Optional[TransportParameters] = None,
+    telemetry=None,
 ) -> tuple:
     """Convenience: build both ends, handshake, run the loop to completion.
 
     Returns (client_conn, server_conn), both ESTABLISHED with path 0 open.
     """
-    client = QuicConnection(loop, is_client=True, local_params=client_params)
-    server = QuicConnection(loop, is_client=False, local_params=server_params)
+    client = QuicConnection(loop, is_client=True, local_params=client_params,
+                            telemetry=telemetry)
+    server = QuicConnection(loop, is_client=False, local_params=server_params,
+                            telemetry=telemetry)
     client.connect(server, rtt=rtt)
     loop.run_until(loop.now + rtt * 2)
     if client.state != QuicConnection.ESTABLISHED:

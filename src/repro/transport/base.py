@@ -96,6 +96,8 @@ class SentInfo:
     acked: bool = False
     cc_lost: bool = False
     qoe_fired: bool = False
+    #: Causal tx span (repro.obs.spans); 0 when span recording is off.
+    span_id: int = 0
 
 
 @dataclass
@@ -220,6 +222,12 @@ class TunnelClientBase:
             tel.event(self.loop.now, ev.APP_IN, pkt.packet_id,
                       size=pkt.size, frame=frame_id)
             tel.count("client.app_in")
+            sp = tel.spans
+            if sp.enabled:
+                parent = sp.lookup("frame", frame_id) if frame_id is not None else 0
+                sid = sp.open("packet", self.loop.now, parent=parent,
+                              packet=pkt.packet_id, size=pkt.size)
+                sp.bind("packet", pkt.packet_id, sid)
         self._on_app_packet_queued(pkt)
         self._pump()
         return pkt.packet_id
@@ -279,6 +287,10 @@ class TunnelClientBase:
                     tel.event(now, ev.EXPIRED, pkt.packet_id,
                               where="ingress_queue")
                     tel.count("client.expired")
+                    sp = tel.spans
+                    if sp.enabled:
+                        sp.close(sp.lookup("packet", pkt.packet_id), now,
+                                 outcome="expired", where="ingress_queue")
                 self._on_queue_entry_dropped(pkt)
                 continue
             frame = self._build_frame(pkt)
@@ -299,6 +311,11 @@ class TunnelClientBase:
                 for t in targets:
                     tel.count("scheduler.selected.path%d" % t.path_id)
                 tel.observe("client.queue_wait", now - pkt.enqueue_time)
+                sp = tel.spans
+                if sp.enabled:
+                    sp.annotate(sp.lookup("packet", pkt.packet_id),
+                                sched_t=now, fanout=len(targets),
+                                sched_path=targets[0].path_id)
             for i, path in enumerate(targets):
                 is_dup = i > 0
                 self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)
@@ -367,6 +384,23 @@ class TunnelClientBase:
             tel.event(now, kind, app_ids[0] if app_ids else -1,
                       path.path_id, **attrs)
             tel.count("client.%s" % kind)
+            sp = tel.spans
+            if sp.enabled:
+                # tx spans are root-level: their close (the ACK) arrives a
+                # downlink-RTT after the carried packet may already have
+                # decoded, so containment under the packet span cannot
+                # hold — the causal link rides the `cause` attribute.
+                span_attrs = {"path": path.path_id, "pn": pn,
+                              "cause": sp.lookup("packet", app_ids[0]) if app_ids else 0}
+                if is_recovery:
+                    span_attrs["recovery"] = True
+                if is_retx:
+                    span_attrs["retx"] = True
+                if is_dup:
+                    span_attrs["dup"] = True
+                if is_probe:
+                    span_attrs["probe"] = True
+                info.span_id = sp.open("tx", now, **span_attrs)
         self.emulator.send_uplink(path.path_id, qpkt, size)
         return info
 
@@ -418,6 +452,7 @@ class TunnelClientBase:
             path.packets_acked += 1
             path.last_ack_time = now
         tel = self.telemetry
+        spans = tel.spans if tel.enabled else None
         for info in newly_acked:
             if tel.enabled:
                 tel.event(now, ev.ACK,
@@ -425,6 +460,8 @@ class TunnelClientBase:
                           info.path_id, pn=info.packet_number,
                           count=len(info.app_ids))
                 tel.observe("client.ack_rtt", now - info.sent_time)
+                if spans is not None and info.span_id:
+                    spans.close(info.span_id, now, outcome="ack")
             if info.app_ids and not info.cc_lost:
                 self._on_app_acked(info.app_ids, info)
         # packet-threshold loss: unacked packets well below largest acked
@@ -472,6 +509,9 @@ class TunnelClientBase:
                           overdue=now - info.sent_time,
                           count=len(info.app_ids))
                 tel.count("client.cc_loss")
+                sp = tel.spans
+                if sp.enabled and info.span_id:
+                    sp.close(info.span_id, now, outcome="cc_loss")
             if not info.is_recovery:
                 self._on_cc_lost(info, now)
 

@@ -80,15 +80,25 @@ class PlayoutReport:
 
 
 def simulate_playout(
-    frames: Sequence[FrameRecord], policy: Optional[PlayoutPolicy] = None
+    frames: Sequence[FrameRecord], policy: Optional[PlayoutPolicy] = None,
+    telemetry=None,
 ) -> PlayoutReport:
     """Run the playout clock over reception records.
 
     Frames are taken in ID order; frame i's slot is
     ``capture_ts + playout_delay`` (shifted later by accumulated freezes,
     as a real player's clock would be).
+
+    When ``telemetry`` (with span recording enabled) is given, each
+    frame's screen outcome is appended to the causal span tree as a
+    root-level ``playout`` span — slot time to display (or the skip
+    window), ``cause`` pointing at the frame span — completing the
+    capture-to-display causal chain the report's waterfall draws.
     """
     policy = policy or PlayoutPolicy()
+    spans = None
+    if telemetry is not None and telemetry.enabled and telemetry.spans.enabled:
+        spans = telemetry.spans
     events: List[PlayoutEvent] = []
     clock_shift = 0.0
     for record in frames:
@@ -117,6 +127,16 @@ def simulate_playout(
                 PlayoutEvent(record.frame_id, scheduled, None, freeze_before=policy.skip_after)
             )
             clock_shift += policy.skip_after
+    if spans is not None:
+        for e in events:
+            sid = spans.open(
+                "playout", e.scheduled,
+                frame=e.frame_id, cause=spans.lookup("frame", e.frame_id),
+                freeze=e.freeze_before,
+                outcome=("displayed" if e.displayed is not None else "skipped"),
+            )
+            spans.close(sid, e.displayed if e.displayed is not None
+                        else e.scheduled + policy.skip_after)
     return PlayoutReport(events=events, policy=policy)
 
 

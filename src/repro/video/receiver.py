@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import NULL_TELEMETRY
 from .source import VideoPacket, VideoPacketError
 
 __all__ = [
@@ -46,7 +47,8 @@ class FrameRecord:
 class VideoReceiver:
     """Collects frames and packet delays from tunnel deliveries."""
 
-    def __init__(self):
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.frames: Dict[int, FrameRecord] = {}
         self.packet_delays: List[float] = []
         self.packets_received = 0
@@ -54,7 +56,7 @@ class VideoReceiver:
         self.parse_errors = 0
 
     def on_app_packet(self, packet_id: int, payload: bytes, now: float) -> None:
-        """Tunnel delivery callback (packet_id is the tunnel's, unused)."""
+        """Tunnel delivery callback (packet_id is the tunnel's app id)."""
         try:
             pkt = VideoPacket.parse(payload)
         except VideoPacketError:
@@ -78,8 +80,19 @@ class VideoReceiver:
         self.packet_delays.append(now - pkt.capture_ts)
         if record.first_packet_time is None:
             record.first_packet_time = now
-        if record.received_packets >= record.expected_packets and record.complete_time is None:
+        completed = (record.received_packets >= record.expected_packets
+                     and record.complete_time is None)
+        if completed:
             record.complete_time = now
+        tel = self.telemetry
+        if tel.enabled:
+            sp = tel.spans
+            if sp.enabled:
+                sp.close(sp.lookup("packet", packet_id), now,
+                         outcome="delivered")
+                if completed:
+                    sp.close(sp.lookup("frame", pkt.frame_id), now,
+                             outcome="complete")
 
     def frame_records(self, total_frames: Optional[int] = None) -> List[FrameRecord]:
         """All frames in order; frames never seen at all appear as empty

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 
 from ..determinism import seeded_rng
 from ..emulation.events import EventLoop, PeriodicTimer
+from ..obs import NULL_TELEMETRY
 
 __all__ = [
     "PACKET_HEADER",
@@ -107,10 +108,12 @@ class VideoSource:
     to ``TunnelClientBase.send_app_packet``.
     """
 
-    def __init__(self, loop: EventLoop, sink: Callable[[bytes, int], None], config: Optional[VideoConfig] = None):
+    def __init__(self, loop: EventLoop, sink: Callable[[bytes, int], None],
+                 config: Optional[VideoConfig] = None, telemetry=None):
         self.loop = loop
         self.sink = sink
         self.config = config or VideoConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._rng = seeded_rng(self.config.seed)
         self.frames_emitted = 0
         self.packets_emitted = 0
@@ -146,6 +149,15 @@ class VideoSource:
         total = self._frame_size(keyframe)
         capture_ts = self.loop.now
         count = max(1, math.ceil(total / cfg.packet_payload))
+        tel = self.telemetry
+        if tel.enabled:
+            sp = tel.spans
+            if sp.enabled:
+                # the root of the causal tree: capture -> complete delivery;
+                # packet spans attach underneath via the frame binding
+                sid = sp.open("frame", capture_ts, frame=frame_id,
+                              keyframe=keyframe, bytes=total, count=count)
+                sp.bind("frame", frame_id, sid)
         remaining = total
         for seq in range(count):
             size = min(cfg.packet_payload, max(PACKET_HEADER.size, remaining))

@@ -1,0 +1,26 @@
+"""Planted span-lifecycle breaches plus the compliant shapes."""
+
+import time
+
+__all__ = []
+
+
+def discards_the_span_id(sp, loop):
+    sp.open("tx", loop.now, path=0)  # PLANT: span-lifecycle
+    sp.instant("drop", loop.now)  # instants need no close: compliant
+
+
+def wall_clock_in_span_path(sp, loop):
+    sid = sp.open("frame", loop.now)
+    t = time.monotonic()  # lint: disable=no-wall-clock -- planted deep fixture  # PLANT: span-lifecycle
+    sp.close(sid, t)
+
+
+def keeps_and_closes(sp, loop):
+    sid = sp.open("frame", loop.now)
+    sp.close(sid, loop.now, outcome="complete")
+
+
+def wall_clock_outside_span_paths_is_other_rules_business():
+    # no span call in this function, so span-lifecycle stays silent here
+    return time.monotonic()  # lint: disable=no-wall-clock -- planted deep fixture

@@ -7,6 +7,7 @@ from repro.analysis.report import format_percentiles, format_table
 from repro.analysis.stats import (
     SeriesSummary,
     cdf,
+    loss_rate_per_second,
     per_second_bins,
     percentile,
     reduction_pct,
@@ -89,6 +90,54 @@ class TestPerSecondBins:
     def test_empty_second_is_nan(self):
         _e, means = per_second_bins([0.5], [1.0], duration=2.0)
         assert np.isnan(means[1])
+
+    def test_zero_length_run_is_empty(self):
+        edges, counts = per_second_bins([], duration=0.0)
+        assert edges.size == 0 and counts.size == 0
+        edges, counts = per_second_bins([], duration=None)
+        assert edges.size == 0 and counts.size == 0
+
+    def test_sample_on_run_end_boundary_gets_own_bucket(self):
+        # np.histogram closes only the last bin on the right: without the
+        # edge extension a sample at t == duration would inflate the
+        # final second instead of starting a new one
+        edges, counts = per_second_bins([0.5, 2.0], duration=2.0)
+        assert list(edges) == [0.0, 1.0, 2.0]
+        assert list(counts) == [1, 0, 1]
+
+    def test_no_duration_infers_from_samples(self):
+        edges, counts = per_second_bins([0.2, 3.7])
+        assert edges[0] == 0.0 and edges[-1] >= 3.0
+        assert counts.sum() == 2
+        assert counts[0] == 1 and counts[3] == 1
+
+
+class TestLossRatePerSecond:
+    def test_basic_rates(self):
+        sent_t = [0.1, 0.5, 1.2, 1.8]
+        sent_ids = [1, 2, 3, 4]
+        edges, rate = loss_rate_per_second(sent_t, {1, 3, 4}, sent_ids, 2.0)
+        assert list(edges) == [0.0, 1.0]
+        assert rate[0] == pytest.approx(0.5)
+        assert rate[1] == pytest.approx(0.0)
+
+    def test_second_without_sends_is_nan(self):
+        _e, rate = loss_rate_per_second([0.5], {1}, [1], 2.0)
+        assert np.isnan(rate[1])
+
+    def test_zero_length_run_is_empty(self):
+        edges, rate = loss_rate_per_second([], set(), [], 0.0)
+        assert edges.size == 0 and rate.size == 0
+
+    def test_send_on_boundary_gets_own_bucket(self):
+        edges, rate = loss_rate_per_second([2.0], set(), [9], 2.0)
+        assert list(edges) == [0.0, 1.0, 2.0]
+        assert np.isnan(rate[0]) and np.isnan(rate[1])
+        assert rate[2] == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            loss_rate_per_second([0.1], set(), [1, 2], 1.0)
 
 
 class TestTables:

@@ -49,7 +49,7 @@ from tools.lint.graph import (
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIX_DIR = "tests/fixtures/lint/deep"
 DEEP_RULE_IDS = ("import-cycle", "dead-public-api", "unit-mix",
-                 "except-hygiene", "constant-drift")
+                 "except-hygiene", "constant-drift", "span-lifecycle")
 
 #: Marker grammar shared with the shallow fixture: ``# PLANT: <rule-id>``.
 _PLANT_RE = re.compile(r"#\s*PLANT:\s*(?P<id>[a-z0-9\-]+)")

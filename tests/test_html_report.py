@@ -1,0 +1,163 @@
+"""The self-contained HTML report (:mod:`repro.analysis.report`).
+
+There is no browser in CI, so the report is validated structurally: the
+SVG primitives are exercised on known inputs (including empty ones — a
+report over a dead run must still render), the assembled page is checked
+for every section the run's data should produce, and the whole render is
+pinned byte-identical across repeat calls — the report inherits the
+span layer's determinism contract (no wall clock, no randomness, stable
+float formatting).
+"""
+
+import pytest
+
+from repro.analysis.report import (
+    FAULT_FILL,
+    STAGE_COLORS,
+    render_cdf_svg,
+    render_html_report,
+    render_timeline_svg,
+    render_waterfall_svg,
+    write_html_report,
+)
+from repro.experiments.runner import run_stream
+from repro.obs import PathSample, SpanRecorder
+from repro.obs.aggregate import STAGES, decompose_spans
+from repro.obs.spans import SPAN_FRAME, SPAN_PACKET, SPAN_TX
+
+
+class TestCdfSvg:
+    def test_empty_series_renders_placeholder(self):
+        svg = render_cdf_svg({})
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "(no samples)" in svg
+        assert render_cdf_svg({"empty": []}).count("polyline") == 0
+
+    def test_series_polylines_and_legend(self):
+        svg = render_cdf_svg({"a": [0.01, 0.02, 0.5], "b": [0.1] * 50})
+        assert svg.count("<polyline") == 2
+        assert ">a</text>" in svg and ">b</text>" in svg
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_large_series_is_downsampled(self):
+        svg = render_cdf_svg({"big": [i / 10000.0 for i in range(10000)]})
+        polyline = svg.split('points="')[1].split('"')[0]
+        assert len(polyline.split()) < 600
+
+    def test_deterministic(self):
+        series = {"x": [0.003, 0.001, 0.002]}
+        assert render_cdf_svg(series) == render_cdf_svg(series)
+
+
+def _samples(pid, n=20, srtt=0.05):
+    return [PathSample(t=0.1 * i, path_id=pid, cwnd=14600 + 100 * i,
+                       bytes_in_flight=0, srtt=srtt + 0.001 * i,
+                       latest_rtt=srtt, min_rtt=srtt, pacing_rate=None,
+                       packets_sent=i, packets_acked=i, packets_lost=0,
+                       loss_rate=0.0) for i in range(n)]
+
+
+class TestTimelineSvg:
+    def test_empty_timelines(self):
+        assert "(no samples)" in render_timeline_svg({})
+        assert "(no samples)" in render_timeline_svg({0: []})
+
+    def test_per_path_lines_and_labels(self):
+        svg = render_timeline_svg({0: _samples(0), 1: _samples(1, srtt=0.08)})
+        assert svg.count("<polyline") == 2
+        assert "path 0" in svg and "path 1" in svg
+        assert "srtt (ms)" in svg
+
+    def test_fault_windows_shaded(self):
+        svg = render_timeline_svg({0: _samples(0)},
+                                  fault_windows=[(0.5, 1.0, "blackout")])
+        assert FAULT_FILL in svg
+        assert "blackout 0.50-1.00s" in svg
+        # a window entirely outside the sampled range draws nothing
+        svg2 = render_timeline_svg({0: _samples(0)},
+                                   fault_windows=[(100.0, 101.0, "late")])
+        assert FAULT_FILL not in svg2
+
+    def test_other_field_scaling(self):
+        svg = render_timeline_svg({0: _samples(0)}, field="cwnd", scale=1.0,
+                                  y_label="cwnd (bytes)")
+        assert "cwnd (bytes)" in svg
+
+
+def _waterfall_recorder():
+    """frame 7 with one clean and one recovered packet (known geometry)."""
+    sp = SpanRecorder()
+    f = sp.open(SPAN_FRAME, 0.0, frame=7)
+    sp.bind("frame", 7, f)
+    a = sp.open(SPAN_PACKET, 0.01, parent=f, packet=100)
+    b = sp.open(SPAN_PACKET, 0.01, parent=f, packet=101)
+    ta = sp.open(SPAN_TX, 0.02, path=0, pn=1, cause=a)
+    sp.close(ta, 0.05, outcome="ack")
+    sp.close(a, 0.05)
+    t1 = sp.open(SPAN_TX, 0.02, path=1, pn=2, cause=b)
+    sp.close(t1, 0.10, outcome="loss")
+    t2 = sp.open(SPAN_TX, 0.12, path=0, pn=3, cause=b)
+    sp.close(t2, 0.16, outcome="ack")
+    sp.close(b, 0.17)
+    sp.close(f, 0.17)
+    return sp
+
+
+class TestWaterfallSvg:
+    def test_stage_split_on_worst_packet(self):
+        sp = _waterfall_recorder()
+        (entry,) = decompose_spans(sp)
+        svg = render_waterfall_svg(sp, entry)
+        assert svg.startswith("<svg")
+        assert "frame 7" in svg and "pkt 101" in svg and "pkt 100" in svg
+        for stage in STAGES:
+            assert STAGE_COLORS[stage] in svg
+            assert "%s:" % stage in svg
+        assert "tx path 1 pn 2" in svg  # the lost transmission still shows
+
+    def test_missing_frame_span_degrades(self):
+        sp = SpanRecorder()
+        out = render_waterfall_svg(sp, {"frame_id": 42})
+        assert out == "<p>(frame 42 has no span)</p>"
+
+
+@pytest.fixture(scope="module")
+def report_run():
+    return run_stream("cellfusion", duration=2.0, seed=7, spans=True)
+
+
+class TestHtmlReport:
+    def test_full_report_sections(self, report_run):
+        html = render_html_report(report_run, title="t <1>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "t &lt;1&gt;" in html  # titles are escaped
+        assert "<script" not in html and "http" not in html.split("xmlns")[0]
+        for section in ("Delay CDFs", "Per-path timelines",
+                        "Frame delay decomposition",
+                        "Worst frames (span waterfall)"):
+            assert section in html
+        assert "cellfusion" in html
+        for stage in STAGES:
+            assert stage in html
+
+    def test_report_without_spans_degrades(self):
+        res = run_stream("bonding", duration=1.0, seed=2, telemetry=True)
+        html = render_html_report(res)
+        assert "span tracing was off" in html
+        assert "Delay CDFs" in html and "Per-path timelines" in html
+
+    def test_report_without_telemetry_still_renders(self):
+        res = run_stream("bonding", duration=1.0, seed=2)
+        html = render_html_report(res)
+        assert "Delay CDFs" in html
+        assert "Per-path timelines" not in html
+
+    def test_render_is_deterministic(self, report_run):
+        assert render_html_report(report_run) == render_html_report(report_run)
+
+    def test_write_html_report(self, report_run, tmp_path):
+        out = tmp_path / "report.html"
+        n = write_html_report(str(out), report_run, title="x")
+        data = out.read_bytes()
+        assert len(data) == n > 1000
+        assert data.decode("utf-8") == render_html_report(report_run, title="x")

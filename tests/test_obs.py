@@ -6,6 +6,7 @@ events for a scripted loss -> recovery -> decode episode, no-op behaviour
 when disabled, and JSONL round-tripping of all record kinds.
 """
 
+import json
 import math
 import random
 import statistics
@@ -115,6 +116,37 @@ def test_trace_buffer_ring_and_eviction():
     assert buf.emitted == 10
     assert buf.evicted == 6
     assert [e.packet_id for e in buf.events()] == [6, 7, 8, 9]
+
+
+def test_eviction_surfaces_in_export(tmp_path):
+    # overflow must never read as a complete export: the record stream
+    # pins a dropped-events counter and ends with a trace_drops footer
+    tel = Telemetry(trace_capacity=4)
+    for i in range(10):
+        tel.event(float(i), TX, packet_id=i)
+    out = tmp_path / "tel.jsonl"
+    tel.export_jsonl(str(out))
+    recs = [json.loads(l) for l in out.read_text().splitlines()]
+    assert recs[0]["type"] == "meta"
+    assert recs[0]["events_evicted"] == 6
+    footer = recs[-1]
+    assert footer["type"] == "trace_drops"
+    assert footer["dropped_events"] == 6
+    assert footer["events_emitted"] == 10
+    metrics = {r["name"]: r for r in recs if r.get("type") == "metric"}
+    assert metrics["telemetry.dropped_events"]["value"] == 6
+
+
+def test_no_eviction_no_footer(tmp_path):
+    tel = Telemetry(trace_capacity=16)
+    tel.event(0.0, TX, packet_id=1)
+    out = tmp_path / "tel.jsonl"
+    tel.export_jsonl(str(out))
+    recs = [json.loads(l) for l in out.read_text().splitlines()]
+    assert recs[0]["events_evicted"] == 0
+    assert all(r.get("type") != "trace_drops" for r in recs)
+    names = [r.get("name") for r in recs if r.get("type") == "metric"]
+    assert "telemetry.dropped_events" not in names
 
 
 def test_trace_buffer_range_events_match_span():

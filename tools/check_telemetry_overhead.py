@@ -20,6 +20,12 @@ regression check:
    exceeds the threshold (default 5 %, ``--threshold`` or
    ``REPRO_TELEMETRY_OVERHEAD_PCT``).
 
+4. **Bound spans + profiler the same way**: span recording guards with
+   ``if spans.enabled:`` against ``NULL_SPANS`` and the event loop pays
+   one local ``profiler is None`` test per dispatched event, so their
+   combined disabled cost is (span sites x guard cost) + (dispatches x
+   branch cost) — gated against the same threshold.
+
 The enabled-mode cost is also measured and reported — it is expected to
 be substantial (it records every packet's lifecycle) and is informational
 only.
@@ -36,7 +42,7 @@ import sys
 import time
 
 from repro.experiments.runner import run_stream
-from repro.obs import NULL_TELEMETRY
+from repro.obs import NULL_SPANS, NULL_TELEMETRY
 
 DEFAULT_THRESHOLD_PCT = float(os.environ.get("REPRO_TELEMETRY_OVERHEAD_PCT", "5.0"))
 
@@ -68,6 +74,80 @@ def measure_guard_ns(iterations: int = 2_000_000) -> float:
     bare(iterations)
     without = time.perf_counter() - t0
     return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def measure_span_guard_ns(iterations: int = 2_000_000) -> float:
+    """Per-site cost of the disabled-span guard (``if sp.enabled:``)."""
+    sp = NULL_SPANS
+
+    def guarded(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            if sp.enabled:
+                sp.instant("x", 0.0)
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    guarded(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    guarded(iterations)
+    with_guard = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def measure_dispatch_branch_ns(iterations: int = 2_000_000) -> float:
+    """Per-event cost of the loop's ``profiler is None`` fast path."""
+    profiler = None
+
+    def branched(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            if profiler is not None:
+                profiler.call(int, (), 0.0)
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    branched(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    branched(iterations)
+    with_branch = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_branch - without) / iterations * 1e9)
+
+
+def count_span_profiler_activations(duration: float, seed: int):
+    """(span sites fired, events dispatched) for one instrumented run.
+
+    One run with spans and the profiler both armed yields both counts:
+    every span open pairs with a close (instants open+close at once) and
+    a bind/annotate at most once each per open in the current wiring, so
+    4x opens bounds the guarded span sites from above; the profiler's
+    call counter is exactly the loop's dispatch count.
+    """
+    result = run_stream("cellfusion", duration=duration, seed=seed,
+                        spans=True, profile=True)
+    span_sites = 4 * result.telemetry.spans.opened
+    dispatches = result.profile["calls"]
+    return span_sites, dispatches
 
 
 def best_wall_time(telemetry: bool, duration: float, seed: int, runs: int) -> float:
@@ -126,6 +206,23 @@ def main(argv=None) -> int:
         return 1
     print("OK: disabled telemetry overhead bound %.2f%% <= %.1f%%"
           % (bound_pct, args.threshold))
+
+    span_guard_ns = measure_span_guard_ns()
+    branch_ns = measure_dispatch_branch_ns()
+    print("disabled span guard: %.0f ns/site; dispatch branch: %.0f ns/event"
+          % (span_guard_ns, branch_ns))
+    span_sites, dispatches = count_span_profiler_activations(args.duration, args.seed)
+    sp_bound_s = span_sites * span_guard_ns * 1e-9 + dispatches * branch_ns * 1e-9
+    sp_bound_pct = sp_bound_s / off * 100.0
+    print("spans+profiler disabled bound: %d span sites + %d dispatches "
+          "= %.1f ms = %.2f%% of %.3fs"
+          % (span_sites, dispatches, sp_bound_s * 1000.0, sp_bound_pct, off))
+    if sp_bound_pct > args.threshold:
+        print("FAIL: disabled spans+profiler overhead bound %.2f%% exceeds %.1f%%"
+              % (sp_bound_pct, args.threshold))
+        return 1
+    print("OK: disabled spans+profiler overhead bound %.2f%% <= %.1f%%"
+          % (sp_bound_pct, args.threshold))
     return 0
 
 

@@ -21,7 +21,12 @@
 #      points;
 #   5. the chaos-soak smoke: one seeded random fault plan against the
 #      full sanitized tunnel (tools/chaos_soak.py, 30 s budget) asserting
-#      delivery, drained fault state, and a byte-identical rerun digest.
+#      delivery, drained fault state, and a byte-identical rerun digest;
+#   6. the HTML report artifact: `repro report` over a short seeded
+#      spans-enabled run (20 s budget) into a gitignored file, checked
+#      for the sections a healthy run must produce — so the whole
+#      spans -> decomposition -> report pipeline is exercised end to end
+#      on every CI run.
 #
 # Usage: tools/ci_checks.sh [--fast]
 #   --fast skips stage 3 (the overhead micro-benchmarks).
@@ -105,5 +110,24 @@ if [ "$elapsed_ms" -ge 30000 ]; then
     echo "chaos soak blew its 30 s wall-clock budget (${elapsed_ms} ms)" >&2
     exit 1
 fi
+
+echo "== stage 6: HTML report artifact (seeded, 20 s budget) =============="
+REPORT_OUT="${REPORT_OUT:-report-ci.html}"
+t0=$(date +%s%N)
+python -m repro report cellfusion --duration 3 --seed 1 --out "$REPORT_OUT"
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "report in ${elapsed_ms} ms -> ${REPORT_OUT}"
+if [ "$elapsed_ms" -ge 20000 ]; then
+    echo "report stage blew its 20 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+for section in "Delay CDFs" "Per-path timelines" "Frame delay decomposition" \
+               "Worst frames (span waterfall)"; do
+    if ! grep -q "$section" "$REPORT_OUT"; then
+        echo "report artifact is missing its '$section' section" >&2
+        exit 1
+    fi
+done
 
 echo "ci_checks: all stages passed"

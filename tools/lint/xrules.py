@@ -18,7 +18,12 @@ per-file pass cannot:
   protocol bugs in hot paths;
 * ``constant-drift`` — any config default or dataclass field whose
   value contradicts the paper-constants registry
-  (:mod:`tools.lint.constants`).
+  (:mod:`tools.lint.constants`);
+* ``span-lifecycle`` — causal-span discipline (:mod:`repro.obs.spans`):
+  a span opened with its id discarded can never be closed, and a
+  function that opens/closes spans must not read the wall clock (span
+  timestamps are sim-clock by contract, or replays stop being
+  byte-identical).
 
 Deep rules run only under ``repro lint --deep``; they share the engine's
 scoping, suppression, and output machinery with the per-file rules.
@@ -40,6 +45,7 @@ __all__ = [
     "UnitMixRule",
     "ExceptHygieneRule",
     "ConstantDriftRule",
+    "SpanLifecycleRule",
 ]
 
 #: Deep rules cover the simulated tree; fixtures opt in via --all-rules.
@@ -169,6 +175,104 @@ class ExceptHygieneRule(DeepRule):
                         "broad exception handler neither re-raises nor "
                         "records the failure; narrow it to the concrete "
                         "exception types (or re-raise + telemetry-count)")
+
+
+@register
+class SpanLifecycleRule(DeepRule):
+    """Causal-span lifecycle discipline (see repro.obs.spans).
+
+    Two breach shapes:
+
+    * a statement-position ``sp.open(...)`` whose span id is discarded —
+      that span can never be closed, so it survives only as a ``cut``
+      leftover at ``finish()`` and poisons the containment invariants;
+    * a wall-clock read inside a function that opens/closes/annotates
+      spans — span timestamps are sim-clock by contract, and a single
+      ``time.time()`` fed into ``open``/``close`` breaks the
+      byte-identical-replay guarantee the span tests pin.
+    """
+
+    id = "span-lifecycle"
+    description = ("span opens must keep the id (sid = sp.open(...)) so the "
+                   "span can be closed, and span-handling functions must not "
+                   "read the wall clock (span timestamps are sim-clock)")
+    scopes = DEEP_SCOPE
+
+    #: SpanRecorder's lifecycle surface, used to recognise span-handling
+    #: receivers (``sp`` / ``spans`` locals or any ``.spans`` attribute).
+    _SPAN_METHODS = frozenset(
+        {"open", "close", "instant", "annotate", "finish", "bind"})
+    _WALL_CLOCK = frozenset({
+        ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+        ("time", "time_ns"), ("time", "monotonic_ns"),
+        ("time", "process_time"),
+    })
+    _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+    @staticmethod
+    def _is_span_receiver(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("sp", "spans")
+        if isinstance(node, ast.Attribute):
+            return node.attr == "spans"
+        return False
+
+    def _span_calls(self, func: ast.AST) -> Iterable[ast.Call]:
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._SPAN_METHODS
+                    and self._is_span_receiver(node.func.value)):
+                yield node
+
+    def _dotted(self, node: ast.AST):
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        return None
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        for rel, info in sorted(project.modules.items()):
+            # breach 1: statement-position open() discards the span id
+            for node in ast.walk(info.tree):
+                if not (isinstance(node, ast.Expr)
+                        and isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Attribute)
+                        and node.value.func.attr == "open"
+                        and self._is_span_receiver(node.value.func.value)):
+                    continue
+                yield Violation(
+                    self.id, rel, node.lineno, node.col_offset,
+                    "span opened but its id is discarded — it can never be "
+                    "closed; keep it (sid = sp.open(...)) or use instant() "
+                    "for zero-duration marks")
+            # breach 2: wall-clock reads inside span-handling functions
+            for func in ast.walk(info.tree):
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not any(True for _ in self._span_calls(func)):
+                    continue
+                for node in func.body:
+                    for call in ast.walk(node):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        chain = self._dotted(call.func)
+                        if chain is None:
+                            continue
+                        if chain in self._WALL_CLOCK or (
+                                chain[-1] in self._DATETIME_ATTRS
+                                and any(p in ("datetime", "date")
+                                        for p in chain[:-1])):
+                            yield Violation(
+                                self.id, rel, call.lineno, call.col_offset,
+                                "wall-clock read %s() in a span-handling "
+                                "function; span timestamps must come from "
+                                "the sim clock (loop.now) or replays stop "
+                                "being byte-identical" % ".".join(chain))
 
 
 @register
