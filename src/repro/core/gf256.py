@@ -120,7 +120,7 @@ _SMALL_BUFFER_LIMIT = 256
 
 #: Lazily-memoised 256-byte translation tables, one per coefficient — the
 #: row ``_MUL_TABLE[coeff]`` exported once as bytes for ``bytes.translate``.
-_TRANSLATE_TABLES: dict = {}
+_TRANSLATE_TABLES: dict = {}  # lint: shard-safe(pure memo of _MUL_TABLE rows; at most 256 entries, byte-identical on every shard)
 
 
 def _translate_table(coeff: int) -> bytes:

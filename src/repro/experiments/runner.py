@@ -258,6 +258,11 @@ def run_stream(
     checker that raises :class:`~repro.sanitizer.SanitizerViolation` on
     the first invariant breach; the default ``None`` defers to the
     ``REPRO_SANITIZE`` environment hook; ``False`` forces it off.
+    Arming it also arms the module-state leak guard
+    (:mod:`repro.sanitizer.stateguard`): registered module globals are
+    fingerprinted before the session and verified after it, so drift
+    that would diverge worker shards fails the run with a
+    ``state-leak`` violation.
 
     ``faults`` arms deterministic fault injection: pass a
     :class:`~repro.faults.FaultPlan` and the events are compiled onto
@@ -279,6 +284,10 @@ def run_stream(
     callback attribution (deterministic call counts; wall time is
     informational).
     """
+    from ..sanitizer.stateguard import state_guard_or_default
+
+    state_guard = state_guard_or_default(sanitize)
+    state_before = state_guard.snapshot() if state_guard.enabled else None
     loop = EventLoop()
     tel: Optional[Telemetry]
     if telemetry is True or (spans and not telemetry):
@@ -327,6 +336,8 @@ def run_stream(
     loop.run_until(duration + drain_time)
     client.close()
     server.close()
+    if state_guard.enabled:
+        state_guard.verify(state_before)
     if tel is not None and tel.spans.enabled:
         tel.spans.finish(loop.now)
     if tel is not None:

@@ -1,9 +1,11 @@
 """Protocol sanitizer: opt-in runtime invariant checks for the XNC stack.
 
 Off by default (endpoints hold the shared :data:`NULL_SANITIZER`); enable
-with ``repro run --sanitize`` or ``REPRO_SANITIZE=1``.  See
-``docs/static-analysis.md`` for the invariant catalogue with paper
-references.
+with ``repro run --sanitize`` or ``REPRO_SANITIZE=1``.  Arming it also
+arms the module-state leak guard (:mod:`repro.sanitizer.stateguard`),
+the dynamic oracle behind the static ``repro lint --shard-safety``
+classification.  See ``docs/static-analysis.md`` for the invariant
+catalogue with paper references.
 """
 
 from .core import (
@@ -16,6 +18,15 @@ from .core import (
     sanitizer_or_default,
     totals,
 )
+from .stateguard import (
+    NULL_STATE_GUARD,
+    GuardedGlobal,
+    NullStateGuard,
+    StateLeakGuard,
+    register_global,
+    registered_globals,
+    state_guard_or_default,
+)
 
 __all__ = [
     "NULL_SANITIZER",
@@ -26,4 +37,11 @@ __all__ = [
     "reset_totals",
     "sanitizer_or_default",
     "totals",
+    "NULL_STATE_GUARD",
+    "GuardedGlobal",
+    "NullStateGuard",
+    "StateLeakGuard",
+    "register_global",
+    "registered_globals",
+    "state_guard_or_default",
 ]

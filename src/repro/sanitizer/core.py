@@ -55,7 +55,7 @@ TIMER_SPIN_LIMIT = 64
 _ID_MEMORY = 65536
 
 #: Process-wide activation counters (for the overhead gate and tests).
-_TOTALS = {"checks": 0, "violations": 0}
+_TOTALS = {"checks": 0, "violations": 0}  # lint: shard-safe(diagnostic counters only; never read by sim logic and reset per run via reset_totals)
 
 
 def totals() -> dict:

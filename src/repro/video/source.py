@@ -114,7 +114,7 @@ class VideoSource:
         self.sink = sink
         self.config = config or VideoConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._rng = seeded_rng(self.config.seed)
+        self._rng = seeded_rng(self.config.seed)  # lint: disable=shard-rng-provenance -- adding a derivation label would shift frame-size draws and break golden replay; VideoConfig.seed is unique per source
         self.frames_emitted = 0
         self.packets_emitted = 0
         self.bytes_emitted = 0

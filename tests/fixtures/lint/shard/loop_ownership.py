@@ -1,0 +1,41 @@
+"""Planted shard-loop-ownership violations.
+
+Loop-owned objects escaping into module/class state, and a module-level
+loop singleton.  Never imported — parsed only by the lint tests.
+"""
+
+from repro.core.loop import EventLoop
+
+__all__ = []
+
+
+class TimerWheel:
+    def __init__(self, loop):
+        self.loop = loop
+
+
+# hazard: a process-wide singleton loop shared by every shard
+_SHARED_LOOP = EventLoop()  # PLANT: shard-loop-ownership
+
+_MAIN_WHEEL = None
+
+
+def install_wheel(loop):
+    # hazard: an object constructed with the loop handle outlives it
+    global _MAIN_WHEEL
+    _MAIN_WHEEL = TimerWheel(loop)  # PLANT: shard-loop-ownership
+
+
+class Runner:
+    pass
+
+
+def attach_shared(loop):
+    # hazard: class attributes are shared across every loop in the process
+    Runner.wheel = TimerWheel(loop)  # PLANT: shard-loop-ownership
+
+
+def build_private(loop):
+    # negative: loop-owned object stays local to the constructing scope
+    wheel = TimerWheel(loop)
+    return wheel

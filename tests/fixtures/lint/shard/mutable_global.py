@@ -1,0 +1,56 @@
+"""Planted shard-mutable-global violations (plus shard-safe negatives).
+
+Each PLANT marker sits on the exact line the rule must report; the
+justified global and the bounded memo below must stay silent.  Never
+imported — parsed only by the lint tests.
+"""
+
+import functools
+
+__all__ = []
+
+# hazard: module global written from a function body, no justification
+_FRAME_CACHE = {}  # PLANT: shard-mutable-global
+
+# hazard: a shard-safe pragma that gives no reason is itself a violation
+_EMPTY_REASON = {"a": 1}  # lint: shard-safe()  # PLANT: shard-mutable-global
+
+# negative: justified pure memo — classified shard-safe, stays silent
+_JUSTIFIED = {}  # lint: shard-safe(pure memo of header sizes; bounded by the packet-type count)
+
+# cross-module-write target for mutable_global_writer.py (clean here)
+SHARED_REGISTRY = {}
+
+
+def remember(frame_id, payload):
+    _FRAME_CACHE[frame_id] = payload
+
+
+def remember_justified(kind, size):
+    _JUSTIFIED.setdefault(kind, size)
+
+
+class Codec:
+    # hazard: class-attribute cache is module state in disguise
+    _TABLES = {}  # PLANT: shard-mutable-global
+
+    def table_for(self, coeff):
+        if coeff not in Codec._TABLES:
+            Codec._TABLES[coeff] = bytes(range(coeff % 256))
+        return Codec._TABLES[coeff]
+
+
+def collect(item, bucket=[]):  # PLANT: shard-mutable-global
+    bucket.append(item)
+    return bucket
+
+
+@functools.lru_cache(maxsize=None)  # PLANT: shard-mutable-global
+def unbounded_memo(x):
+    return x * x
+
+
+@functools.lru_cache(maxsize=128)
+def bounded_memo(x):
+    # negative: bounded pure memo — auto-classified shard-safe
+    return x + 1

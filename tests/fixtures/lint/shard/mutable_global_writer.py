@@ -1,0 +1,13 @@
+"""Planted cross-module write: mutating another module's global.
+
+The write site (not the definition) is the violation anchor — the
+writer is the shard hazard.  Never imported; parsed only by the tests.
+"""
+
+import tests.fixtures.lint.shard.mutable_global as peer
+
+__all__ = []
+
+
+def leak_into_peer(key, value):
+    peer.SHARED_REGISTRY[key] = value  # PLANT: shard-mutable-global

@@ -1,0 +1,38 @@
+"""Planted shard-rng-provenance violations.
+
+Label-free derivations, module-level streams, re-seeding, and an RNG
+escaping into module state.  Never imported — parsed only by the tests.
+"""
+
+from repro.determinism import seeded_rng
+
+__all__ = []
+
+# hazard: one module-level stream shared by every shard (derivation is
+# fine, the lifetime is not)
+_MODULE_RNG = seeded_rng(7, "fixture")  # PLANT: shard-rng-provenance
+
+_SHARED_RNG = None
+
+
+def no_derivation(seed):
+    return seeded_rng(seed)  # PLANT: shard-rng-provenance
+
+
+def no_string_label(seed, idx):
+    return seeded_rng(seed, idx, 2)  # PLANT: shard-rng-provenance
+
+
+def reseed_mid_flight(rng):
+    rng.seed(42)  # PLANT: shard-rng-provenance
+    return rng.random()
+
+
+def escape_to_module(seed):
+    global _SHARED_RNG
+    _SHARED_RNG = seeded_rng(seed, "fixture")  # PLANT: shard-rng-provenance
+
+
+def well_derived(seed, path_id):
+    # negative: seed plus a string component and an index — full provenance
+    return seeded_rng(seed, "uplink", path_id)

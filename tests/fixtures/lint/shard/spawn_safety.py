@@ -1,0 +1,39 @@
+"""Planted shard-spawn-safety violations.
+
+Unpicklable callables handed to process boundaries.  Never imported —
+parsed only by the lint tests.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool, Process
+
+__all__ = []
+
+
+def module_level_worker(x):
+    return x * 2
+
+
+def submit_lambda(executor, items):
+    return executor.submit(lambda: sorted(items))  # PLANT: shard-spawn-safety
+
+
+def map_closure(pool, xs):
+    def work(x):  # a closure: pickling it fails at spawn time
+        return x * 2
+
+    return pool.map(work, xs)  # PLANT: shard-spawn-safety
+
+
+def spawn_local_class():
+    class Job:
+        def __call__(self):
+            return 1
+
+    return Process(target=Job())  # PLANT: shard-spawn-safety
+
+
+def spawn_clean(xs):
+    # negative: module-level function crosses the boundary fine
+    with ProcessPoolExecutor() as executor:
+        return list(executor.map(module_level_worker, xs))

@@ -1,0 +1,177 @@
+"""Tests for the incremental lint mode (``repro lint --changed``).
+
+The mode's contract is **exact parity with a full run** while doing less
+work: only changed files plus their import-graph dependents (both
+directions) are re-analyzed, everything else is spliced from the
+violation cache.  The headline test runs full-repo parity on the actual
+tree; the synthetic-project tests pin the closure computation, the
+cache-invalidation triggers, and the splice behaviour.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import tools.lint as lint
+from tools.lint.engine import lint_paths
+from tools.lint.incremental import (
+    CACHE_VERSION,
+    default_cache_path,
+    lint_paths_incremental,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _key(violations):
+    return [(v.rule, v.path, v.line, v.col, v.message) for v in violations]
+
+
+class TestFullRepoParity:
+    """The satellite gate: incremental == full on the real tree."""
+
+    def test_cold_then_warm_parity(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        full = lint_paths(REPO_ROOT, lint.DEFAULT_TARGETS, deep=True,
+                          shard=True)
+        cold, stats = lint_paths_incremental(
+            REPO_ROOT, lint.DEFAULT_TARGETS, deep=True, shard=True,
+            cache_path=cache)
+        assert stats["cold"] and stats["analyzed"] == stats["total"]
+        assert _key(cold) == _key(full)
+        warm, stats = lint_paths_incremental(
+            REPO_ROOT, lint.DEFAULT_TARGETS, deep=True, shard=True,
+            cache_path=cache)
+        assert not stats["cold"]
+        assert stats["changed"] == 0 and stats["analyzed"] == 0
+        assert _key(warm) == _key(full)
+
+
+def _write_tree(root, files):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A three-module toy tree: a -> b, c isolated; b hides a violation."""
+    _write_tree(tmp_path, {
+        "src/repro/a.py": ("from repro.b import helper\n"
+                           "__all__ = []\n"
+                           "X = helper()\n"),
+        "src/repro/b.py": ("__all__ = ['helper']\n"
+                           "def helper():\n"
+                           "    return 1\n"),
+        "src/repro/c.py": ("__all__ = []\n"
+                           "_CACHE = {}\n"
+                           "def f(k):\n"
+                           "    _CACHE[k] = 1\n"),
+    })
+    return tmp_path
+
+
+class TestSyntheticTree:
+    TARGETS = ["src/repro"]
+
+    def _run(self, root, cache):
+        return lint_paths_incremental(root, self.TARGETS, deep=True,
+                                      shard=True, cache_path=cache)
+
+    def test_closure_excludes_unrelated_modules(self, project):
+        cache = project / "cache.json"
+        first, stats = self._run(project, cache)
+        assert stats["cold"]
+        # c.py carries the shard hazard in every run
+        assert any(v.rule == "shard-mutable-global" for v in first)
+        # touch b: a (importer) and b re-analyze; c is spliced from cache
+        b = project / "src/repro/b.py"
+        b.write_text(b.read_text() + "\n# a trailing comment\n",
+                     encoding="utf-8")
+        second, stats = self._run(project, cache)
+        assert not stats["cold"]
+        assert stats["changed"] == 1
+        assert stats["analyzed"] == 2  # a.py + b.py, not c.py
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(second) == _key(full)
+
+    def test_new_violation_in_changed_file_appears(self, project):
+        cache = project / "cache.json"
+        self._run(project, cache)
+        a = project / "src/repro/a.py"
+        a.write_text(a.read_text()
+                     + "_LEAK = {}\n"
+                     "def g(k):\n"
+                     "    _LEAK[k] = 1\n", encoding="utf-8")
+        got, stats = self._run(project, cache)
+        assert not stats["cold"]
+        assert any(v.rule == "shard-mutable-global"
+                   and v.path == "src/repro/a.py" for v in got)
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
+    def test_fix_in_changed_file_clears_cached_violation(self, project):
+        cache = project / "cache.json"
+        self._run(project, cache)
+        c = project / "src/repro/c.py"
+        c.write_text("__all__ = []\n"
+                     "def f(k):\n"
+                     "    return {k: 1}\n", encoding="utf-8")
+        got, stats = self._run(project, cache)
+        assert not any(v.path == "src/repro/c.py" for v in got)
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
+    def test_deleted_file_falls_back_to_full_run(self, project):
+        cache = project / "cache.json"
+        self._run(project, cache)
+        (project / "src/repro/c.py").unlink()
+        got, stats = self._run(project, cache)
+        assert stats["cold"]
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
+    def test_config_change_invalidates_cache(self, project):
+        cache = project / "cache.json"
+        self._run(project, cache)
+        # same cache file, different pass configuration -> cold
+        _, stats = lint_paths_incremental(project, self.TARGETS, deep=True,
+                                          shard=False, cache_path=cache)
+        assert stats["cold"]
+
+    def test_version_bump_invalidates_cache(self, project):
+        cache = project / "cache.json"
+        self._run(project, cache)
+        doc = json.loads(cache.read_text(encoding="utf-8"))
+        doc["version"] = CACHE_VERSION + 1
+        cache.write_text(json.dumps(doc), encoding="utf-8")
+        _, stats = self._run(project, cache)
+        assert stats["cold"]
+
+    def test_corrupt_cache_falls_back(self, project):
+        cache = project / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        got, stats = self._run(project, cache)
+        assert stats["cold"]
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
+
+class TestCli:
+    def test_changed_flag_reports_stats(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        rc = lint.main(["--deep", "--shard-safety", "--changed",
+                        "--cache", str(cache), "--root", str(REPO_ROOT)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cold cache" in out and "lint: clean" in out
+        rc = lint.main(["--deep", "--shard-safety", "--changed",
+                        "--cache", str(cache), "--root", str(REPO_ROOT)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "re-analyzed 0 of" in out and "warm cache" in out
+
+    def test_default_cache_path_is_repo_local(self):
+        assert default_cache_path(REPO_ROOT).name == ".repro-lint-cache.json"

@@ -1,0 +1,329 @@
+"""Self-test for the shard-safety lint pass (``repro lint --shard-safety``).
+
+Mirrors ``tests/test_deep_lint.py`` one level up, for the third pass:
+
+* ``test_repo_shard_lints_clean`` — the whole tree passes the shard
+  pass, so a PR introducing a writable module global, a loop-owned
+  escape, a label-free RNG derivation, or an unpicklable spawn payload
+  fails the suite (every justified hazard carries its pragma);
+* ``TestPlantedFixtures`` — every violation planted under
+  ``tests/fixtures/lint/shard/`` is detected with the correct rule id,
+  file, and line, one parametrized case per shard rule.
+
+Below those sit unit tests for the pragma grammar and the four rules'
+classification edges (bounded vs unbounded memos, taint through
+constructor arguments, derivation-path checks, nested-def payloads).
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+import tools.lint as lint
+from tools.lint.engine import ModuleSource, lint_paths
+from tools.lint.graph import Project
+from tools.lint.shard import shard_safe_pragmas
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIX_DIR = "tests/fixtures/lint/shard"
+SHARD_RULE_IDS = ("shard-mutable-global", "shard-loop-ownership",
+                  "shard-rng-provenance", "shard-spawn-safety")
+
+_PLANT_RE = re.compile(r"#\s*PLANT:\s*(?P<id>[a-z0-9\-]+)")
+
+
+def planted_expectations():
+    """(rule, rel-path, line) triples declared by the fixtures' markers."""
+    expected = set()
+    for path in sorted((REPO_ROOT / FIX_DIR).glob("*.py")):
+        rel = "%s/%s" % (FIX_DIR, path.name)
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            m = _PLANT_RE.search(line)
+            if m:
+                expected.add((m.group("id"), rel, lineno))
+    return expected
+
+
+def make_project(files):
+    """An in-memory Project from {repo-relative path: source text}."""
+    sources = {
+        rel: ModuleSource(Path("<memory>") / rel, rel, text)
+        for rel, text in files.items()
+    }
+    return Project(sources)
+
+
+def shard_violations(files, rule_id):
+    """Run one shard rule over an in-memory project."""
+    from tools.lint.engine import all_shard_rules
+
+    project = make_project(files)
+    rule = {r.id: r for r in all_shard_rules()}[rule_id]
+    return list(rule.check_project(project))
+
+
+def test_repo_shard_lints_clean():
+    """`repro lint --shard-safety` exits 0 on the repo (the enforced gate)."""
+    violations = lint_paths(REPO_ROOT, lint.DEFAULT_TARGETS, shard=True)
+    assert violations == [], "repo must shard-lint clean:\n%s" % "\n".join(
+        v.format() for v in violations)
+
+
+class TestPlantedFixtures:
+    def test_all_planted_violations_detected(self):
+        expected = planted_expectations()
+        assert len(expected) >= 14, "fixtures lost their planted markers"
+        got = lint_paths(REPO_ROOT, [FIX_DIR], all_rules_everywhere=True,
+                         shard=True)
+        assert {(v.rule, v.path, v.line) for v in got} == expected
+
+    @pytest.mark.parametrize("rule_id", SHARD_RULE_IDS)
+    def test_each_rule_flags_its_plant(self, rule_id):
+        expected = {(r, p, l) for r, p, l in planted_expectations()
+                    if r == rule_id}
+        assert expected, "no fixture plants rule %s" % rule_id
+        got = lint_paths(REPO_ROOT, [FIX_DIR], rule_ids=[rule_id],
+                         all_rules_everywhere=True, shard=True)
+        assert {(v.rule, v.path, v.line) for v in got} == expected
+
+    def test_shard_scoping_keeps_fixtures_out_of_the_gate(self):
+        # fixtures live outside src/repro/, so the default-scope shard
+        # run (the one CI enforces) must not see them
+        assert lint_paths(REPO_ROOT, [FIX_DIR], shard=True) == []
+
+    def test_per_file_pass_silent_on_shard_fixtures(self):
+        # the fixtures are deliberately clean under every per-file rule
+        assert lint_paths(REPO_ROOT, [FIX_DIR]) == []
+        assert lint_paths(
+            REPO_ROOT, [FIX_DIR], all_rules_everywhere=True) == []
+
+    def test_shard_rule_id_requires_shard_flag(self):
+        with pytest.raises(ValueError, match="need --shard-safety"):
+            lint_paths(REPO_ROOT, [FIX_DIR],
+                       rule_ids=["shard-mutable-global"])
+
+    def test_shard_and_deep_passes_are_independent(self):
+        # --deep alone must not run the shard rules (and vice versa)
+        got = lint_paths(REPO_ROOT, [FIX_DIR], all_rules_everywhere=True,
+                         deep=True)
+        assert not any(v.rule.startswith("shard-") for v in got)
+
+
+class TestShardSafePragma:
+    def test_pragma_parse(self):
+        lines = [
+            "_CACHE = {}  # lint: shard-safe(pure memo; bounded)",
+            "_X = {}",
+            "_Y = {}  # lint: shard-safe()",
+        ]
+        got = shard_safe_pragmas(lines)
+        assert got == {1: "pure memo; bounded", 3: ""}
+
+    def test_pragma_with_reason_silences_global(self):
+        src = ("__all__ = []\n"
+               "_MEMO = {}  # lint: shard-safe(pure memo)\n"
+               "def f(k, v):\n"
+               "    _MEMO[k] = v\n")
+        assert shard_violations({"src/repro/m.py": src},
+                                "shard-mutable-global") == []
+
+    def test_empty_reason_is_reported(self):
+        src = "__all__ = []\n_MEMO = {}  # lint: shard-safe()\n"
+        got = shard_violations({"src/repro/m.py": src},
+                               "shard-mutable-global")
+        assert len(got) == 1 and "without a reason" in got[0].message
+
+
+class TestMutableGlobalRule:
+    def _hits(self, src):
+        return shard_violations({"src/repro/m.py": "__all__ = []\n" + src},
+                                "shard-mutable-global")
+
+    def test_read_only_global_is_silent(self):
+        assert self._hits("_TABLE = {1: 2}\n"
+                          "def f(k):\n"
+                          "    return _TABLE.get(k)\n") == []
+
+    def test_local_shadow_is_not_a_write(self):
+        # a local variable of the same name must not count as a mutation
+        assert self._hits("_CACHE = {}\n"
+                          "def f(k):\n"
+                          "    _CACHE = {}\n"
+                          "    _CACHE[k] = 1\n"
+                          "    return _CACHE\n") == []
+
+    def test_bounded_lru_cache_is_auto_safe(self):
+        assert self._hits("import functools\n"
+                          "@functools.lru_cache(maxsize=64)\n"
+                          "def f(x):\n"
+                          "    return x\n") == []
+        assert self._hits("import functools\n"
+                          "@functools.lru_cache\n"
+                          "def f(x):\n"
+                          "    return x\n") == []
+
+    def test_functools_cache_is_unbounded(self):
+        got = self._hits("import functools\n"
+                         "@functools.cache\n"
+                         "def f(x):\n"
+                         "    return x\n")
+        assert len(got) == 1 and "functools.cache" in got[0].message
+
+    def test_global_rebinding_counts_as_write(self):
+        got = self._hits("_STATE = {}\n"
+                         "def reset():\n"
+                         "    global _STATE\n"
+                         "    _STATE = {}\n")
+        assert len(got) == 1 and "_STATE" in got[0].message
+
+    def test_mutator_method_counts_as_write(self):
+        got = self._hits("_SEEN = set()\n"
+                         "def note(x):\n"
+                         "    _SEEN.add(x)\n")
+        assert len(got) == 1 and "_SEEN" in got[0].message
+
+    def test_cross_module_write_reported_at_write_site(self):
+        files = {
+            "src/repro/owner.py": "__all__ = []\nREG = {}\n",
+            "src/repro/writer.py": ("import repro.owner as owner\n"
+                                    "__all__ = []\n"
+                                    "def f(k, v):\n"
+                                    "    owner.REG[k] = v\n"),
+        }
+        got = shard_violations(files, "shard-mutable-global")
+        assert len(got) == 1
+        assert got[0].path == "src/repro/writer.py" and got[0].line == 4
+        assert "repro.owner.REG" in got[0].message
+
+    def test_cross_module_write_respects_owner_pragma(self):
+        files = {
+            "src/repro/owner.py": ("__all__ = []\n"
+                                   "REG = {}  # lint: shard-safe(append-only registry)\n"),
+            "src/repro/writer.py": ("import repro.owner as owner\n"
+                                    "__all__ = []\n"
+                                    "def f(k, v):\n"
+                                    "    owner.REG[k] = v\n"),
+        }
+        assert shard_violations(files, "shard-mutable-global") == []
+
+
+class TestLoopOwnershipRule:
+    def _hits(self, src):
+        return shard_violations({"src/repro/m.py": "__all__ = []\n" + src},
+                                "shard-loop-ownership")
+
+    def test_taint_through_constructor_args(self):
+        got = self._hits("_W = None\n"
+                         "class Wheel:\n"
+                         "    def __init__(self, loop):\n"
+                         "        self.loop = loop\n"
+                         "def setup(loop):\n"
+                         "    w = Wheel(loop)\n"
+                         "    global _W\n"
+                         "    _W = w\n")
+        assert len(got) == 1 and "_W" in got[0].message
+
+    def test_local_use_is_clean(self):
+        assert self._hits("def run(loop):\n"
+                          "    t = loop.call_later(1.0, lambda: None)\n"
+                          "    return t\n") == []
+
+    def test_container_store_flagged(self):
+        got = self._hits("_CACHE = {}\n"
+                         "def keep(loop):\n"
+                         "    _CACHE['main'] = loop\n")
+        assert any(v.rule == "shard-loop-ownership" for v in got)
+
+
+class TestRngProvenanceRule:
+    def _hits(self, src):
+        header = "from repro.determinism import seeded_rng\n__all__ = []\n"
+        return shard_violations({"src/repro/m.py": header + src},
+                                "shard-rng-provenance")
+
+    def test_string_label_passes(self):
+        assert self._hits("def f(seed, i):\n"
+                          "    return seeded_rng(seed, 'uplink', i)\n") == []
+
+    def test_bare_seed_flagged(self):
+        got = self._hits("def f(seed):\n"
+                         "    return seeded_rng(seed)\n")
+        assert len(got) == 1 and "no derivation path" in got[0].message
+
+    def test_numeric_components_flagged(self):
+        got = self._hits("def f(seed, i):\n"
+                         "    return seeded_rng(seed, i)\n")
+        assert len(got) == 1 and "string label" in got[0].message
+
+    def test_determinism_module_is_exempt(self):
+        from tools.lint.engine import all_shard_rules
+
+        rule = {r.id: r for r in all_shard_rules()}["shard-rng-provenance"]
+        assert not rule.applies_to_path("src/repro/determinism.py")
+
+    def test_reseed_of_rng_receiver_flagged(self):
+        got = self._hits("def f(rng):\n"
+                         "    rng.seed(1)\n")
+        assert len(got) == 1 and "re-seeding" in got[0].message
+
+
+class TestSpawnSafetyRule:
+    def _hits(self, src):
+        return shard_violations({"src/repro/m.py": "__all__ = []\n" + src},
+                                "shard-spawn-safety")
+
+    def test_module_level_target_is_clean(self):
+        assert self._hits("def work(x):\n"
+                          "    return x\n"
+                          "def go(pool, xs):\n"
+                          "    return pool.map(work, xs)\n") == []
+
+    def test_lambda_argument_flagged_anywhere_in_payload(self):
+        got = self._hits("def go(executor, xs):\n"
+                         "    return executor.submit(sorted, key=lambda x: x)\n")
+        assert len(got) == 1 and "lambda" in got[0].message
+
+    def test_non_executor_receiver_ignored(self):
+        # .map on a non-executor-ish name is not a process boundary
+        assert self._hits("def go(series, f):\n"
+                          "    return series.map(f)\n") == []
+
+
+class TestSarifAndCli:
+    def test_main_shard_fixture_sarif(self, capsys):
+        rc = lint.main([FIX_DIR, "--shard-safety", "--all-rules",
+                        "--format", "sarif", "--root", str(REPO_ROOT)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        got = set()
+        for result in doc["runs"][0]["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            got.add((result["ruleId"], loc["artifactLocation"]["uri"],
+                     loc["region"]["startLine"]))
+        assert got == planted_expectations()
+        # the embedded catalogue describes every shard rule that fired
+        described = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert set(SHARD_RULE_IDS) <= described
+
+    def test_main_shard_clean_exit_zero(self, capsys):
+        assert lint.main(["--shard-safety", "--root", str(REPO_ROOT)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_list_rules_includes_shard_pass(self, capsys):
+        assert lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "[shard;" in out
+        for rule_id in SHARD_RULE_IDS:
+            assert rule_id in out
+
+    def test_repro_cli_shard_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        rc = repro_main(["lint", "--shard-safety", "--format", "sarif",
+                         "--root", str(REPO_ROOT)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["version"] == "2.1.0"

@@ -16,6 +16,11 @@ attribute load plus one branch.  This script is the regression check:
    fraction of the sanitizer-off wall time.  Fail beyond the threshold
    (default 5 %, ``--threshold`` or ``REPRO_SANITIZER_OVERHEAD_PCT`` —
    the same bound the telemetry layer promises).
+4. **Bound the disabled state-leak guard** the same way: an unguarded
+   run holds ``NULL_STATE_GUARD`` and pays one ``.enabled`` load plus a
+   branch at each of its call sites in ``run_stream``, so its bound is
+   sites x guard cost against the same off wall time, gated under the
+   same threshold.
 
 The enabled-mode cost is reported for information only; armed runs are
 CI/debug tools, not the benchmark path.
@@ -32,9 +37,13 @@ import sys
 import time
 
 from repro.experiments.runner import run_stream
-from repro.sanitizer import NULL_SANITIZER, reset_totals, totals
+from repro.sanitizer import NULL_SANITIZER, NULL_STATE_GUARD, reset_totals, totals
 
 DEFAULT_THRESHOLD_PCT = float(os.environ.get("REPRO_SANITIZER_OVERHEAD_PCT", "5.0"))
+
+#: Guarded state-guard call sites per run_stream invocation: the
+#: ``state_guard.enabled`` checks around snapshot() and verify().
+STATE_GUARD_SITES = 2
 
 
 def measure_guard_ns(iterations: int = 2_000_000) -> float:
@@ -47,6 +56,35 @@ def measure_guard_ns(iterations: int = 2_000_000) -> float:
             acc += i
             if san.enabled:
                 san.check_timer_progress("x", 0.0)
+        return acc
+
+    def bare(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+        return acc
+
+    guarded(iterations // 10)  # warm up
+    bare(iterations // 10)
+    t0 = time.perf_counter()
+    guarded(iterations)
+    with_guard = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bare(iterations)
+    without = time.perf_counter() - t0
+    return max(0.0, (with_guard - without) / iterations * 1e9)
+
+
+def measure_state_guard_ns(iterations: int = 2_000_000) -> float:
+    """Per-call cost of the disabled state-leak guard branch, in ns."""
+    guard = NULL_STATE_GUARD
+
+    def guarded(n):
+        acc = 0
+        for i in range(n):
+            acc += i
+            if guard.enabled:
+                guard.snapshot()
         return acc
 
     def bare(n):
@@ -120,6 +158,18 @@ def main(argv=None) -> int:
         return 1
     print("OK: disabled sanitizer overhead bound %.2f%% <= %.1f%%"
           % (bound_pct, args.threshold))
+
+    sg_ns = measure_state_guard_ns()
+    sg_bound_s = STATE_GUARD_SITES * sg_ns * 1e-9
+    sg_bound_pct = sg_bound_s / off * 100.0
+    print("disabled state guard: %d sites x %.0f ns = %.4f ms = %.4f%% of %.3fs"
+          % (STATE_GUARD_SITES, sg_ns, sg_bound_s * 1000.0, sg_bound_pct, off))
+    if sg_bound_pct > args.threshold:
+        print("FAIL: disabled state-leak guard bound %.4f%% exceeds %.1f%%"
+              % (sg_bound_pct, args.threshold))
+        return 1
+    print("OK: disabled state-leak guard bound %.4f%% <= %.1f%%"
+          % (sg_bound_pct, args.threshold))
     return 0
 
 

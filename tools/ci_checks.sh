@@ -8,6 +8,9 @@
 #      dataflow, paper-constants registry) emitting SARIF for CI
 #      annotation, with a 10 s wall-clock budget so the deep pass can
 #      never become the slow stage;
+#   1c. `repro lint --shard-safety` — the fleet-sharding pass (mutable
+#      globals, event-loop ownership, RNG provenance, spawn safety)
+#      emitting its own SARIF artifact under the same 10 s budget;
 #   2. the linter/sanitizer self-tests plus the protocol-heavy slice of
 #      the suite re-run with REPRO_SANITIZE=1, so every transmit, range
 #      build, recovery plan, decode, and state transition in those runs
@@ -58,8 +61,26 @@ if [ "$elapsed_ms" -ge 10000 ]; then
     exit 1
 fi
 
+echo "== stage 1c: repro lint --shard-safety (SARIF, 10 s budget) ========="
+SHARD_SARIF_OUT="${SHARD_SARIF_OUT:-lint-shard.sarif}"
+t0=$(date +%s%N)
+if ! python -m tools.lint --shard-safety --format sarif > "$SHARD_SARIF_OUT"; then
+    echo "shard-safety lint found violations:" >&2
+    python -m tools.lint --shard-safety >&2 || true
+    exit 1
+fi
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "shard-safety pass clean in ${elapsed_ms} ms -> ${SHARD_SARIF_OUT}"
+if [ "$elapsed_ms" -ge 10000 ]; then
+    echo "shard-safety lint blew its 10 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+
 echo "== stage 2a: linter + sanitizer self-tests =========================="
-python -m pytest tests/test_lint.py tests/test_deep_lint.py tests/test_sanitizer.py -q
+python -m pytest tests/test_lint.py tests/test_deep_lint.py \
+    tests/test_shard_lint.py tests/test_incremental_lint.py \
+    tests/test_sanitizer.py tests/test_stateguard.py -q
 
 echo "== stage 2b: integration slice with REPRO_SANITIZE=1 ================"
 REPRO_SANITIZE=1 python -m pytest -q \

@@ -2,18 +2,24 @@
 
 Run it as ``python -m tools.lint`` from the repo root, or via the
 ``repro lint`` CLI subcommand.  ``--deep`` adds the whole-program pass
-(import graph, units-of-measure dataflow, paper-constants registry).
-See ``docs/static-analysis.md`` for the rule catalogue and extension
-guide.
+(import graph, units-of-measure dataflow, paper-constants registry);
+``--shard-safety`` adds the shard-safety pass (mutable-global,
+loop-ownership, RNG-provenance and spawn-safety analyses) proving the
+tree safe to replicate across worker processes; ``--changed`` reuses the
+violation cache to re-analyze only modified modules plus their
+dependents.  See ``docs/static-analysis.md`` for the rule catalogue and
+extension guide.
 """
 
 from .engine import (
     DeepRule,
     ModuleSource,
     Rule,
+    ShardRule,
     Violation,
     all_deep_rules,
     all_rules,
+    all_shard_rules,
     format_human,
     format_json,
     format_sarif,
@@ -23,6 +29,7 @@ from .engine import (
 )
 from . import rules as _rules  # noqa: F401 -- importing registers the rule set
 from . import xrules as _xrules  # noqa: F401 -- deep rules register here
+from . import shard as _shard  # noqa: F401 -- shard-safety rules register here
 
 #: Default lint targets, relative to the repo root.
 DEFAULT_TARGETS = ("src/repro", "tools", "tests", "benchmarks", "examples")
@@ -31,9 +38,11 @@ __all__ = [
     "DeepRule",
     "ModuleSource",
     "Rule",
+    "ShardRule",
     "Violation",
     "all_deep_rules",
     "all_rules",
+    "all_shard_rules",
     "format_human",
     "format_json",
     "format_sarif",
@@ -59,6 +68,17 @@ def main(argv=None, root=None) -> int:
     parser.add_argument("--deep", action="store_true",
                         help="add the whole-program pass: import graph, "
                              "units dataflow, paper-constants registry")
+    parser.add_argument("--shard-safety", action="store_true", dest="shard",
+                        help="add the shard-safety pass: mutable-global, "
+                             "loop-ownership, RNG-provenance, spawn-safety")
+    parser.add_argument("--changed", action="store_true",
+                        help="incremental mode: re-analyze only modified "
+                             "modules plus their dependents, splicing cached "
+                             "results for the rest (results are identical to "
+                             "a full run)")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="violation-cache path for --changed "
+                             "(default: <root>/.repro-lint-cache.json)")
     parser.add_argument("--format", choices=("human", "json", "sarif"),
                         default=None, dest="fmt",
                         help="output format (default: human)")
@@ -80,6 +100,9 @@ def main(argv=None, root=None) -> int:
         for rule in all_deep_rules():
             scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
             print("%-20s [deep; %s] %s" % (rule.id, scope, rule.description))
+        for rule in all_shard_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
+            print("%-20s [shard; %s] %s" % (rule.id, scope, rule.description))
         return 0
 
     fmt = args.fmt or ("json" if args.as_json else "human")
@@ -89,9 +112,22 @@ def main(argv=None, root=None) -> int:
               "above the cwd); pass --root", flush=True)
         return 2
     targets = args.targets or list(DEFAULT_TARGETS)
-    violations = lint_paths(base, targets, rule_ids=args.rule_ids,
-                            all_rules_everywhere=args.all_rules,
-                            deep=args.deep)
+    if args.changed:
+        from .incremental import lint_paths_incremental
+
+        violations, stats = lint_paths_incremental(
+            base, targets, rule_ids=args.rule_ids,
+            all_rules_everywhere=args.all_rules,
+            deep=args.deep, shard=args.shard,
+            cache_path=Path(args.cache) if args.cache else None)
+        if fmt == "human":
+            print("changed: %d file(s), re-analyzed %d of %d (%s)"
+                  % (stats["changed"], stats["analyzed"], stats["total"],
+                     "cold cache" if stats["cold"] else "warm cache"))
+    else:
+        violations = lint_paths(base, targets, rule_ids=args.rule_ids,
+                                all_rules_everywhere=args.all_rules,
+                                deep=args.deep, shard=args.shard)
     if fmt == "json":
         print(format_json(violations))
     elif fmt == "sarif":

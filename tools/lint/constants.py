@@ -329,7 +329,7 @@ def _iter_default_bindings(tree: ast.Module):
 def check_project_constants(project) -> List[Finding]:
     """Cross-check every module in ``project`` against :data:`REGISTRY`."""
     findings: List[Finding] = []
-    for rel, info in sorted(project.modules.items()):
+    for rel, info in project.active_modules():
         consts = _module_consts(info.tree)
         for name, value_node, anchor in _iter_default_bindings(info.tree):
             entry = _BINDING_INDEX.get(name)

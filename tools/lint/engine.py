@@ -1,19 +1,24 @@
 """Zero-dependency AST lint engine with repo-native rules.
 
-The engine hosts **two pass levels** over one parse of the tree:
+The engine hosts **three pass levels** over one parse of the tree:
 
 * the **per-file pass** (``repro lint``) — each :class:`Rule` sees one
   :class:`ModuleSource` at a time;
 * the **deep pass** (``repro lint --deep``) — each :class:`DeepRule`
   sees the whole-program :class:`~tools.lint.graph.Project` (import
   graph, symbol table, units dataflow) and yields violations anchored
-  anywhere in the tree.
+  anywhere in the tree;
+* the **shard-safety pass** (``repro lint --shard-safety``) — each
+  :class:`ShardRule` proves the tree safe to replicate across worker
+  processes and event loops (mutable-global, loop-ownership,
+  RNG-provenance and spawn-safety analyses; see
+  :mod:`tools.lint.shard`).
 
-A new rule costs ~20 lines either way:
+A new rule costs ~20 lines at any level:
 
-1. subclass :class:`Rule` (implement ``check(module)``) or
-   :class:`DeepRule` (implement ``check_project(project)``), yielding
-   :class:`Violation` objects;
+1. subclass :class:`Rule` (implement ``check(module)``),
+   :class:`DeepRule` or :class:`ShardRule` (implement
+   ``check_project(project)``), yielding :class:`Violation` objects;
 2. decorate it with :func:`register` — the registry sorts the rule into
    the right pass automatically.
 
@@ -55,9 +60,11 @@ __all__ = [
     "ModuleSource",
     "Rule",
     "DeepRule",
+    "ShardRule",
     "register",
     "all_rules",
     "all_deep_rules",
+    "all_shard_rules",
     "iter_py_files",
     "lint_paths",
     "format_human",
@@ -182,17 +189,31 @@ class DeepRule(Rule):
         return any(rel.startswith(s) for s in self.scopes)
 
 
+class ShardRule(DeepRule):
+    """A shard-safety rule: whole-program, but its own pass level.
+
+    Shard rules prove the codebase safe to replicate across worker
+    processes and event loops (the ROADMAP item-1 fleet runner).  They
+    see the same :class:`~tools.lint.graph.Project` the deep pass
+    builds, but run only under ``repro lint --shard-safety`` so the
+    deep gate and the shard gate stay independently green.
+    """
+
+
 _REGISTRY: Dict[str, Rule] = {}
 _DEEP_REGISTRY: Dict[str, DeepRule] = {}
+_SHARD_REGISTRY: Dict[str, "ShardRule"] = {}
 
 
 def register(cls):
-    """Class decorator adding a rule to the per-file or deep registry."""
+    """Class decorator adding a rule to the per-file, deep, or shard registry."""
     if not cls.id:
         raise ValueError("rule %r needs a non-empty id" % cls)
-    if cls.id in _REGISTRY or cls.id in _DEEP_REGISTRY:
+    if cls.id in _REGISTRY or cls.id in _DEEP_REGISTRY or cls.id in _SHARD_REGISTRY:
         raise ValueError("duplicate rule id %r" % cls.id)
-    if issubclass(cls, DeepRule):
+    if issubclass(cls, ShardRule):
+        _SHARD_REGISTRY[cls.id] = cls()
+    elif issubclass(cls, DeepRule):
         _DEEP_REGISTRY[cls.id] = cls()
     else:
         _REGISTRY[cls.id] = cls()
@@ -207,6 +228,11 @@ def all_rules() -> List[Rule]:
 def all_deep_rules() -> List[DeepRule]:
     """The whole-program rule set (``repro lint --deep``)."""
     return [_DEEP_REGISTRY[k] for k in sorted(_DEEP_REGISTRY)]
+
+
+def all_shard_rules() -> List["ShardRule"]:
+    """The shard-safety rule set (``repro lint --shard-safety``)."""
+    return [_SHARD_REGISTRY[k] for k in sorted(_SHARD_REGISTRY)]
 
 
 #: Directories never descended into.
@@ -240,20 +266,34 @@ def lint_paths(
     rule_ids: Optional[Sequence[str]] = None,
     all_rules_everywhere: bool = False,
     deep: bool = False,
+    shard: bool = False,
+    restrict: Optional[set] = None,
 ) -> List[Violation]:
     """Lint every file under ``targets`` (relative to ``root``).
 
     ``rule_ids`` restricts to a subset of rules; ``all_rules_everywhere``
     drops path scoping (fixture testing); ``deep`` additionally builds
     the whole-program :class:`~tools.lint.graph.Project` over the same
-    parse and runs the cross-module rules.  Suppressed violations are
+    parse and runs the cross-module rules; ``shard`` runs the
+    shard-safety rules over the same Project.  Suppressed violations are
     removed; pragmas lacking a justification are reported as
     ``bare-suppression`` hits.
+
+    ``restrict``, when given, limits *reporting and per-module analysis*
+    to that set of repo-relative paths: per-file rules skip other files,
+    whole-program rules skip their per-module work for them (via
+    ``Project.active_modules``), and any violation anchored outside the
+    set is dropped.  The incremental mode (``--changed``,
+    :mod:`tools.lint.incremental`) splices cached results back in for
+    the skipped files — callers must not interpret a restricted run as a
+    whole-tree verdict on its own.
     """
     rules = all_rules()
     deep_rules = all_deep_rules() if deep else []
+    shard_rules = all_shard_rules() if shard else []
     if rule_ids:
-        known = {r.id for r in all_rules()} | {r.id for r in all_deep_rules()}
+        known = ({r.id for r in all_rules()} | {r.id for r in all_deep_rules()}
+                 | {r.id for r in all_shard_rules()})
         unknown = set(rule_ids) - known
         if unknown:
             raise ValueError("unknown rule ids: %s" % ", ".join(sorted(unknown)))
@@ -261,8 +301,13 @@ def lint_paths(
         if deep_only and not deep:
             raise ValueError("deep-only rule ids need --deep: %s"
                              % ", ".join(sorted(deep_only)))
+        shard_only = set(rule_ids) & {r.id for r in all_shard_rules()}
+        if shard_only and not shard:
+            raise ValueError("shard-only rule ids need --shard-safety: %s"
+                             % ", ".join(sorted(shard_only)))
         rules = [r for r in rules if r.id in set(rule_ids)]
         deep_rules = [r for r in deep_rules if r.id in set(rule_ids)]
+        shard_rules = [r for r in shard_rules if r.id in set(rule_ids)]
     violations: List[Violation] = []
     modules: Dict[str, ModuleSource] = {}
     for path, rel in iter_py_files(Path(root), targets):
@@ -274,6 +319,8 @@ def lint_paths(
                                         0, "cannot parse: %s" % exc))
             continue
         modules[rel] = module
+        if restrict is not None and rel not in restrict:
+            continue
         for line, (_ids, why) in sorted(module.suppressions.items()):
             if why is None or not why.strip():
                 violations.append(Violation(
@@ -286,12 +333,16 @@ def lint_paths(
             for v in rule.check(module):
                 if not module.suppressed(v.rule, v.line):
                     violations.append(v)
-    if deep_rules and modules:
+    cross_rules: List[DeepRule] = list(deep_rules) + list(shard_rules)
+    if cross_rules and modules:
         from .graph import Project
 
         project = Project(modules)
-        for rule in deep_rules:
+        project.restrict = restrict
+        for rule in cross_rules:
             for v in rule.check_project(project):
+                if restrict is not None and v.path not in restrict:
+                    continue
                 if not all_rules_everywhere and not rule.applies_to_path(v.path):
                     continue
                 holder = modules.get(v.path)
@@ -317,10 +368,10 @@ def format_json(violations: Sequence[Violation]) -> str:
 def format_sarif(violations: Sequence[Violation]) -> str:
     """SARIF 2.1.0 output: one run, one result per violation.
 
-    The rule catalogue (both pass levels) is embedded as the tool's
+    The rule catalogue (all three pass levels) is embedded as the tool's
     ``rules`` array so CI annotation surfaces can show descriptions.
     """
-    catalogue = {r.id: r for r in all_rules() + all_deep_rules()}
+    catalogue = {r.id: r for r in all_rules() + all_deep_rules() + all_shard_rules()}
     used = sorted({v.rule for v in violations})
     rules_meta = []
     for rule_id in used:

@@ -121,6 +121,9 @@ class Project:
         self.modules: Dict[str, ModuleInfo] = {}
         #: dotted name -> ModuleInfo (reverse of the path map).
         self.by_name: Dict[str, ModuleInfo] = {}
+        #: Optional set of repo-relative paths the per-module rule work is
+        #: limited to (the --changed incremental mode); None = all.
+        self.restrict: Optional[Set[str]] = None
         self.edges: List[ImportEdge] = []
         #: (module, symbol) pairs referenced from *other* modules.
         self.references: Set[Tuple[str, str]] = set()
@@ -269,6 +272,18 @@ class Project:
                     changed = True
 
     # -- queries ---------------------------------------------------------------
+
+    def active_modules(self) -> List[Tuple[str, ModuleInfo]]:
+        """(rel, info) pairs the per-module rule work should cover, sorted.
+
+        Honours :attr:`restrict` — the incremental mode's contract is
+        that skipped modules' findings come from the violation cache, so
+        rules iterating this list stay exact while doing less work.
+        """
+        items = sorted(self.modules.items())
+        if self.restrict is None:
+            return items
+        return [(rel, info) for rel, info in items if rel in self.restrict]
 
     def import_graph(self, top_level_only: bool = True) -> Dict[str, Set[str]]:
         graph: Dict[str, Set[str]] = {name: set() for name in self.by_name}

@@ -1,0 +1,274 @@
+"""Incremental lint: ``repro lint --changed``.
+
+Keeps lint wall-time flat as the repo grows by re-analyzing only the
+files whose content changed **plus every file whose analysis could
+depend on them**, splicing cached violations back in for the rest.  The
+contract is exact parity with a full run — the parity test in
+``tests/test_incremental_lint.py`` compares the two on the whole repo.
+
+The affected closure, given the set *C* of changed files, is::
+
+    affected = C ∪ transitive-importers(C) ∪ transitive-imports(C)
+
+computed over the project import graph (both top-level and deferred
+edges — deferred imports still feed ``resolve_callee`` and the units
+dataflow).  This is sound for every rule in the tree:
+
+* **per-file rules** depend only on the file itself (⊆ C);
+* ``dead-public-api`` liveness for module *M* changes only when a
+  (transitive) importer of *M* gains or loses a reference — and any such
+  importer is in ``importers*(C)``;
+* ``unit-mix`` / ``span-lifecycle`` / ``constant-drift`` verdicts for
+  *M* read the signatures and constants of modules *M* imports, all in
+  ``imports*(C)`` when one of them changed;
+* ``import-cycle`` members are mutual transitive importers, so a cycle
+  touched by a change lies entirely inside the closure;
+* the shard rules (:mod:`tools.lint.shard`) read at most one import hop
+  (cross-module global writes through a module alias), also covered.
+
+It is deliberately *not* the full undirected closure — in a connected
+package that would degenerate to the whole tree every time.
+
+The cache (``<root>/.repro-lint-cache.json``, gitignored) stores per
+file: a content digest, the file's direct imports (so the closure is
+computable without re-parsing unchanged files), and the violations
+anchored in it.  Any cache miss — missing file, deleted file, changed
+rule configuration, engine version bump — falls back to a full run and
+rewrites the cache; correctness never depends on cache freshness.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .engine import Violation, iter_py_files, lint_paths
+from .graph import module_name_for
+
+__all__ = ["lint_paths_incremental", "CACHE_VERSION", "default_cache_path"]
+
+#: Bump when the cache layout or the closure rules change.
+CACHE_VERSION = 1
+
+
+def default_cache_path(root: Path) -> Path:
+    return Path(root) / ".repro-lint-cache.json"
+
+
+def _digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _config_key(targets: Sequence[str], rule_ids, all_rules_everywhere: bool,
+                deep: bool, shard: bool) -> str:
+    return json.dumps({
+        "targets": sorted(targets),
+        "rule_ids": sorted(rule_ids) if rule_ids else None,
+        "all_rules": bool(all_rules_everywhere),
+        "deep": bool(deep),
+        "shard": bool(shard),
+    }, sort_keys=True)
+
+
+def _direct_imports(tree: ast.Module, name: str, is_package: bool) -> List[str]:
+    """Dotted names this module imports (absolute; unfiltered).
+
+    Mirrors :class:`~tools.lint.graph.Project` import resolution —
+    including relative-import handling and ``from pkg import mod``
+    module bindings — but without needing the rest of the project, so
+    the result can be cached per file.
+    """
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                source = node.module
+            else:
+                base = name.split(".")
+                if not is_package:
+                    base = base[:-1]
+                drop = node.level - 1
+                if drop > len(base):
+                    continue
+                if drop:
+                    base = base[:-drop]
+                if node.module:
+                    base = base + node.module.split(".")
+                source = ".".join(base) if base else None
+            if source is None:
+                continue
+            out.add(source)
+            for alias in node.names:
+                if alias.name != "*":
+                    # might be a module binding; filtered against the
+                    # project module set when the graph is assembled
+                    out.add("%s.%s" % (source, alias.name))
+    return sorted(out)
+
+
+def _transitive(graph: Dict[str, Set[str]], roots: Set[str]) -> Set[str]:
+    seen: Set[str] = set(roots)
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        for nxt in graph.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def _load_cache(path: Path) -> Optional[dict]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+        return None
+    if not isinstance(data.get("files"), dict):
+        return None
+    return data
+
+
+def _violations_from(entries: Sequence[Sequence]) -> List[Violation]:
+    return [Violation(rule, path, line, col, msg)
+            for rule, path, line, col, msg in entries]
+
+
+def _save_cache(path: Path, key: str, files: Dict[str, dict]) -> None:
+    doc = {"version": CACHE_VERSION, "key": key, "files": files}
+    path.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+
+
+def lint_paths_incremental(
+    root: Path,
+    targets: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+    all_rules_everywhere: bool = False,
+    deep: bool = False,
+    shard: bool = False,
+    cache_path: Optional[Path] = None,
+) -> Tuple[List[Violation], dict]:
+    """Incremental :func:`~tools.lint.engine.lint_paths`.
+
+    Returns ``(violations, stats)`` where ``stats`` has ``changed``
+    (files whose digest moved), ``analyzed`` (files actually re-linted:
+    the affected closure), ``total``, and ``cold`` (True when the run
+    fell back to a full analysis).  ``violations`` is always identical
+    to what the equivalent full run would return.
+    """
+    root = Path(root)
+    cache_file = Path(cache_path) if cache_path else default_cache_path(root)
+    key = _config_key(targets, rule_ids, all_rules_everywhere, deep, shard)
+
+    files = list(iter_py_files(root, targets))
+    digests = {rel: _digest(path) for path, rel in files}
+    total = len(files)
+
+    cache = _load_cache(cache_file)
+    cached_files = cache["files"] if cache is not None else {}
+    stale = (
+        cache is None
+        or cache.get("key") != key
+        # a deleted file can shrink another module's closure; recompute all
+        or any(rel not in digests for rel in cached_files)
+    )
+
+    def full_run() -> Tuple[List[Violation], dict]:
+        violations = lint_paths(root, targets, rule_ids=rule_ids,
+                                all_rules_everywhere=all_rules_everywhere,
+                                deep=deep, shard=shard)
+        entries: Dict[str, dict] = {}
+        by_path: Dict[str, list] = {}
+        for v in violations:
+            by_path.setdefault(v.path, []).append(
+                [v.rule, v.path, v.line, v.col, v.message])
+        for path, rel in files:
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+                imports = _direct_imports(tree, module_name_for(rel),
+                                          rel.endswith("__init__.py"))
+            except (SyntaxError, UnicodeDecodeError):
+                imports = []
+            entries[rel] = {"sha": digests[rel], "imports": imports,
+                            "violations": by_path.get(rel, [])}
+        _save_cache(cache_file, key, entries)
+        return violations, {"changed": total, "analyzed": total,
+                            "total": total, "cold": True}
+
+    if stale:
+        return full_run()
+
+    changed = {rel for rel in digests
+               if rel not in cached_files
+               or cached_files[rel]["sha"] != digests[rel]}
+    if not changed:
+        violations = sorted(
+            (v for entry in cached_files.values()
+             for v in _violations_from(entry["violations"])),
+            key=lambda v: (v.path, v.line, v.col, v.rule))
+        return violations, {"changed": 0, "analyzed": 0,
+                            "total": total, "cold": False}
+
+    # refresh import lists for the changed files; reuse cache for the rest
+    imports_by_rel: Dict[str, List[str]] = {
+        rel: entry["imports"] for rel, entry in cached_files.items()
+        if rel in digests and rel not in changed}
+    path_by_rel = {rel: path for path, rel in files}
+    for rel in changed:
+        try:
+            tree = ast.parse(path_by_rel[rel].read_text(encoding="utf-8"))
+            imports_by_rel[rel] = _direct_imports(
+                tree, module_name_for(rel), rel.endswith("__init__.py"))
+        except (SyntaxError, UnicodeDecodeError):
+            imports_by_rel[rel] = []
+
+    # project import graph over dotted names, then both closures
+    name_of = {rel: module_name_for(rel) for rel in digests}
+    rel_of = {name: rel for rel, name in name_of.items()}
+    known = set(rel_of)
+    fwd: Dict[str, Set[str]] = {name: set() for name in known}
+    rev: Dict[str, Set[str]] = {name: set() for name in known}
+    for rel, imports in imports_by_rel.items():
+        src = name_of[rel]
+        for target in imports:
+            if target in known and target != src:
+                fwd[src].add(target)
+                rev[target].add(src)
+    changed_names = {name_of[rel] for rel in changed}
+    affected_names = (_transitive(rev, changed_names)
+                      | _transitive(fwd, changed_names))
+    affected = {rel_of[name] for name in affected_names}
+
+    fresh = lint_paths(root, targets, rule_ids=rule_ids,
+                       all_rules_everywhere=all_rules_everywhere,
+                       deep=deep, shard=shard, restrict=affected)
+    fresh_by_path: Dict[str, list] = {rel: [] for rel in affected}
+    for v in fresh:
+        fresh_by_path.setdefault(v.path, []).append(
+            [v.rule, v.path, v.line, v.col, v.message])
+
+    entries = {}
+    for rel in digests:
+        if rel in affected:
+            entries[rel] = {"sha": digests[rel],
+                            "imports": imports_by_rel[rel],
+                            "violations": fresh_by_path.get(rel, [])}
+        else:
+            old = cached_files[rel]
+            entries[rel] = {"sha": old["sha"], "imports": old["imports"],
+                            "violations": old["violations"]}
+    _save_cache(cache_file, key, entries)
+
+    violations = sorted(
+        (v for entry in entries.values()
+         for v in _violations_from(entry["violations"])),
+        key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, {"changed": len(changed), "analyzed": len(affected),
+                        "total": total, "cold": False}

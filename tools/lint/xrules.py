@@ -89,7 +89,7 @@ class DeadPublicApiRule(DeepRule):
         anchor for const in REGISTRY for anchor in const.anchors)
 
     def check_project(self, project: Project) -> Iterable[Violation]:
-        for rel, info in sorted(project.modules.items()):
+        for rel, info in project.active_modules():
             if info.is_package:
                 # package __init__ exports are curated re-export surface;
                 # reachability through them is propagated to the origin
@@ -119,7 +119,7 @@ class UnitMixRule(DeepRule):
     scopes = DEEP_SCOPE
 
     def check_project(self, project: Project) -> Iterable[Violation]:
-        for rel, info in sorted(project.modules.items()):
+        for rel, info in project.active_modules():
             for c in analyze_module_units(project, info):
                 yield Violation(
                     self.id, rel, c.line, c.col,
@@ -165,7 +165,7 @@ class ExceptHygieneRule(DeepRule):
         return False
 
     def check_project(self, project: Project) -> Iterable[Violation]:
-        for rel, info in sorted(project.modules.items()):
+        for rel, info in project.active_modules():
             for node in ast.walk(info.tree):
                 if not isinstance(node, ast.ExceptHandler):
                     continue
@@ -236,7 +236,7 @@ class SpanLifecycleRule(DeepRule):
         return None
 
     def check_project(self, project: Project) -> Iterable[Violation]:
-        for rel, info in sorted(project.modules.items()):
+        for rel, info in project.active_modules():
             # breach 1: statement-position open() discards the span id
             for node in ast.walk(info.tree):
                 if not (isinstance(node, ast.Expr)
