@@ -97,6 +97,24 @@ class TestSyntheticTree:
         full = lint_paths(project, self.TARGETS, deep=True, shard=True)
         assert _key(second) == _key(full)
 
+    def test_removed_import_reanalyzes_former_dependency(self, project):
+        # the REVIEW repro: deleting a.py's only import of b.helper must
+        # pull b back into the closure (via its OLD edge) so the full
+        # run's new dead-public-api verdict on b.py is not masked by a
+        # stale cached 'clean' entry
+        cache = project / "cache.json"
+        first, _ = self._run(project, cache)
+        assert not any(v.rule == "dead-public-api" for v in first)
+        a = project / "src/repro/a.py"
+        a.write_text("__all__ = []\nX = 1\n", encoding="utf-8")
+        got, stats = self._run(project, cache)
+        assert not stats["cold"]
+        assert stats["analyzed"] >= 2  # a.py and the formerly-imported b.py
+        assert any(v.rule == "dead-public-api"
+                   and v.path == "src/repro/b.py" for v in got)
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
     def test_new_violation_in_changed_file_appears(self, project):
         cache = project / "cache.json"
         self._run(project, cache)
@@ -157,6 +175,37 @@ class TestSyntheticTree:
         assert stats["cold"]
         full = lint_paths(project, self.TARGETS, deep=True, shard=True)
         assert _key(got) == _key(full)
+
+    @pytest.mark.parametrize("mangle", [
+        lambda e: e["violations"][0].pop(),       # 4-tuple violation
+        lambda e: e.pop("imports"),               # missing key
+        lambda e: e.update(sha=123),              # wrong sha type
+        lambda e: e.update(violations="oops"),    # wrong violations type
+    ])
+    def test_malformed_cache_entry_falls_back(self, project, mangle):
+        # valid JSON with a truncated/hand-edited per-file record must
+        # degrade to a cold run, not crash while splicing
+        cache = project / "cache.json"
+        self._run(project, cache)
+        doc = json.loads(cache.read_text(encoding="utf-8"))
+        mangle(doc["files"]["src/repro/c.py"])
+        cache.write_text(json.dumps(doc), encoding="utf-8")
+        got, stats = self._run(project, cache)
+        assert stats["cold"]
+        full = lint_paths(project, self.TARGETS, deep=True, shard=True)
+        assert _key(got) == _key(full)
+
+    def test_rule_change_invalidates_cache(self, project, monkeypatch):
+        # editing any module in tools/lint/ moves the rule-set
+        # fingerprint inside the cache key -> warm cache goes cold
+        import tools.lint.incremental as incremental
+
+        cache = project / "cache.json"
+        self._run(project, cache)
+        monkeypatch.setattr(incremental, "_rules_fingerprint",
+                            lambda: "a-different-rule-set")
+        _, stats = self._run(project, cache)
+        assert stats["cold"]
 
 
 class TestCli:

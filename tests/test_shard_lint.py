@@ -237,6 +237,33 @@ class TestLoopOwnershipRule:
                          "    _CACHE['main'] = loop\n")
         assert any(v.rule == "shard-loop-ownership" for v in got)
 
+    def test_taint_in_nested_block_precedes_later_store(self):
+        # the taint pass walks statements in source order: a tainting
+        # assignment inside an if-body must be seen before the store
+        # that follows the block (BFS visited it after, masking this)
+        got = self._hits("_W = None\n"
+                         "class Wheel:\n"
+                         "    def __init__(self, loop):\n"
+                         "        self.loop = loop\n"
+                         "def setup(loop, cond):\n"
+                         "    global _W\n"
+                         "    if cond:\n"
+                         "        w = Wheel(loop)\n"
+                         "    _W = w\n")
+        assert len(got) == 1 and "_W" in got[0].message
+
+    def test_reassignment_untaints_in_source_order(self):
+        got = self._hits("_W = None\n"
+                         "class Wheel:\n"
+                         "    def __init__(self, loop):\n"
+                         "        self.loop = loop\n"
+                         "def setup(loop):\n"
+                         "    global _W\n"
+                         "    w = Wheel(loop)\n"
+                         "    w = None\n"
+                         "    _W = w\n")
+        assert got == []
+
 
 class TestRngProvenanceRule:
     def _hits(self, src):

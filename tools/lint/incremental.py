@@ -12,7 +12,11 @@ The affected closure, given the set *C* of changed files, is::
 
 computed over the project import graph (both top-level and deferred
 edges — deferred imports still feed ``resolve_callee`` and the units
-dataflow).  This is sound for every rule in the tree:
+dataflow).  Each changed file contributes the **union of its old
+(cached) and new import edges**: deleting ``from b import helper`` in
+``a.py`` changes ``b``'s liveness verdict, so ``b`` must be re-analyzed
+even though the new ``a.py`` no longer points at it.  This is sound for
+every rule in the tree:
 
 * **per-file rules** depend only on the file itself (⊆ C);
 * ``dead-public-api`` liveness for module *M* changes only when a
@@ -33,8 +37,9 @@ The cache (``<root>/.repro-lint-cache.json``, gitignored) stores per
 file: a content digest, the file's direct imports (so the closure is
 computable without re-parsing unchanged files), and the violations
 anchored in it.  Any cache miss — missing file, deleted file, changed
-rule configuration, engine version bump — falls back to a full run and
-rewrites the cache; correctness never depends on cache freshness.
+rule configuration, edited lint implementation, version bump, or a
+malformed per-file record — falls back to a full run and rewrites the
+cache; correctness never depends on cache freshness.
 """
 
 from __future__ import annotations
@@ -50,7 +55,9 @@ from .graph import module_name_for
 
 __all__ = ["lint_paths_incremental", "CACHE_VERSION", "default_cache_path"]
 
-#: Bump when the cache layout or the closure rules change.
+#: Bump when the cache *layout* changes.  Rule-logic changes need no
+#: bump: the rule-set fingerprint in the cache key invalidates warm
+#: caches automatically whenever any module in tools/lint/ is edited.
 CACHE_VERSION = 1
 
 
@@ -62,6 +69,21 @@ def _digest(path: Path) -> str:
     return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
+def _rules_fingerprint() -> str:
+    """Digest of the lint implementation (every module in tools/lint/).
+
+    Folded into the cache key so that adding or editing a rule
+    invalidates every warm cache automatically — otherwise a rule change
+    without a manual CACHE_VERSION bump would splice stale 'clean'
+    verdicts for unchanged files in every developer's and CI's cache.
+    """
+    h = hashlib.sha256()
+    for path in sorted(Path(__file__).resolve().parent.glob("*.py")):
+        h.update(path.name.encode("utf-8"))
+        h.update(path.read_bytes())
+    return h.hexdigest()
+
+
 def _config_key(targets: Sequence[str], rule_ids, all_rules_everywhere: bool,
                 deep: bool, shard: bool) -> str:
     return json.dumps({
@@ -70,6 +92,7 @@ def _config_key(targets: Sequence[str], rule_ids, all_rules_everywhere: bool,
         "all_rules": bool(all_rules_everywhere),
         "deep": bool(deep),
         "shard": bool(shard),
+        "rules": _rules_fingerprint(),
     }, sort_keys=True)
 
 
@@ -124,6 +147,31 @@ def _transitive(graph: Dict[str, Set[str]], roots: Set[str]) -> Set[str]:
     return seen
 
 
+def _entry_ok(entry) -> bool:
+    """Shape-check one cached per-file record.
+
+    The cache is a plain JSON file on disk; a truncated write or a
+    hand-edit must degrade to a cold (full) run, never crash mid-splice
+    in :func:`_violations_from`.
+    """
+    if not isinstance(entry, dict) or not isinstance(entry.get("sha"), str):
+        return False
+    imports = entry.get("imports")
+    if (not isinstance(imports, list)
+            or not all(isinstance(i, str) for i in imports)):
+        return False
+    violations = entry.get("violations")
+    if not isinstance(violations, list):
+        return False
+    for v in violations:
+        if not (isinstance(v, list) and len(v) == 5
+                and isinstance(v[0], str) and isinstance(v[1], str)
+                and isinstance(v[2], int) and isinstance(v[3], int)
+                and isinstance(v[4], str)):
+            return False
+    return True
+
+
 def _load_cache(path: Path) -> Optional[dict]:
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
@@ -131,7 +179,10 @@ def _load_cache(path: Path) -> Optional[dict]:
         return None
     if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
         return None
-    if not isinstance(data.get("files"), dict):
+    files = data.get("files")
+    if not isinstance(files, dict):
+        return None
+    if not all(_entry_ok(entry) for entry in files.values()):
         return None
     return data
 
@@ -220,6 +271,12 @@ def lint_paths_incremental(
     imports_by_rel: Dict[str, List[str]] = {
         rel: entry["imports"] for rel, entry in cached_files.items()
         if rel in digests and rel not in changed}
+    # Closure edges take the union of each changed file's OLD (cached)
+    # and NEW imports: an edge the edit just removed still marks its
+    # former target affected (its liveness/signature verdicts can move),
+    # while the fresh cache entries below record only the new imports.
+    closure_imports: Dict[str, Set[str]] = {
+        rel: set(imports) for rel, imports in imports_by_rel.items()}
     path_by_rel = {rel: path for path, rel in files}
     for rel in changed:
         try:
@@ -228,6 +285,9 @@ def lint_paths_incremental(
                 tree, module_name_for(rel), rel.endswith("__init__.py"))
         except (SyntaxError, UnicodeDecodeError):
             imports_by_rel[rel] = []
+        old = cached_files.get(rel)
+        closure_imports[rel] = set(imports_by_rel[rel]) | set(
+            old["imports"] if old else ())
 
     # project import graph over dotted names, then both closures
     name_of = {rel: module_name_for(rel) for rel in digests}
@@ -235,7 +295,7 @@ def lint_paths_incremental(
     known = set(rel_of)
     fwd: Dict[str, Set[str]] = {name: set() for name in known}
     rev: Dict[str, Set[str]] = {name: set() for name in known}
-    for rel, imports in imports_by_rel.items():
+    for rel, imports in closure_imports.items():
         src = name_of[rel]
         for target in imports:
             if target in known and target != src:

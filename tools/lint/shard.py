@@ -125,6 +125,34 @@ def _iter_functions(tree: ast.AST) -> Iterator[ast.AST]:
             yield node
 
 
+def _walk_stmts_ordered(body: Iterable[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements in source/execution order, recursing into nested
+    blocks (if/for/while/try/with bodies) but not into nested
+    function/class scopes — those are analyzed on their own pass."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield stmt
+        for field in ("body", "orelse", "finalbody"):
+            yield from _walk_stmts_ordered(getattr(stmt, field, []))
+        for handler in getattr(stmt, "handlers", []):
+            yield from _walk_stmts_ordered(handler.body)
+
+
+def _own_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call nodes in *stmt*'s own expressions, excluding nested blocks
+    (which :func:`_walk_stmts_ordered` visits as their own statements)."""
+    for field, value in ast.iter_fields(stmt):
+        if field in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        for item in value if isinstance(value, list) else [value]:
+            if isinstance(item, ast.AST):
+                for node in ast.walk(item):
+                    if isinstance(node, ast.Call):
+                        yield node
+
+
 def _module_lines(project: Project, rel: str):
     source = project.sources.get(rel)
     return getattr(source, "lines", []) or []
@@ -259,8 +287,6 @@ class MutableGlobalRule(ShardRule):
                       pragmas: Dict[int, str]) -> Iterator[Violation]:
         mutable = defs.get(info.name, {})
         writes: Dict[str, List[ast.AST]] = {}
-        local_names = {n for f in _iter_functions(info.tree)
-                       for n in self._local_bindings(f)}
         for func in _iter_functions(info.tree):
             func_locals = self._local_bindings(func)
             for name, node in self._written_names(func):
@@ -482,9 +508,9 @@ class LoopOwnershipRule(ShardRule):
             if a.arg in _LOOP_NAMES:
                 tainted.add(a.arg)
         declared_global: Set[str] = set()
-        for node in ast.walk(func):
-            if isinstance(node, ast.Global):
-                declared_global.update(node.names)
+        for stmt in _walk_stmts_ordered(func.body):
+            if isinstance(stmt, ast.Global):
+                declared_global.update(stmt.names)
 
         def value_tainted(node: ast.AST) -> bool:
             if isinstance(node, ast.Name):
@@ -499,10 +525,12 @@ class LoopOwnershipRule(ShardRule):
                 return any(value_tainted(arg) for arg in operands)
             return False
 
-        # single forward pass in statement order (ast.walk preserves the
-        # body ordering closely enough for the straight-line idioms this
-        # heuristic targets)
-        for node in ast.walk(func):
+        # single forward pass in true source order — nested blocks are
+        # recursed where they appear, so reassignment untainting tracks
+        # execution order on the straight-line idioms this heuristic
+        # targets (BFS would visit a nested tainting assignment after a
+        # later top-level untainting one, masking real escapes)
+        for node in _walk_stmts_ordered(func.body):
             if isinstance(node, ast.Assign):
                 is_tainted = value_tainted(node.value)
                 for tgt in node.targets:
@@ -536,18 +564,19 @@ class LoopOwnershipRule(ShardRule):
                             "loop-owned object stored on class attribute "
                             "%s.%s; class state is shared across every loop "
                             "in the process" % (tgt.value.id, tgt.attr))
-            elif (isinstance(node, ast.Call)
-                  and isinstance(node.func, ast.Attribute)
-                  and node.func.attr in _MUTATORS
-                  and isinstance(node.func.value, ast.Name)
-                  and node.func.value.id in mutable_globals):
-                operands = list(node.args) + [kw.value for kw in node.keywords]
-                if any(value_tainted(arg) for arg in operands):
-                    yield Violation(
-                        self.id, rel, node.lineno, node.col_offset,
-                        "loop-owned object stored in module-level container "
-                        "%r; it outlives its event loop and leaks across "
-                        "shard reruns" % node.func.value.id)
+            for call in _own_calls(node):
+                if (isinstance(call.func, ast.Attribute)
+                        and call.func.attr in _MUTATORS
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id in mutable_globals):
+                    operands = (list(call.args)
+                                + [kw.value for kw in call.keywords])
+                    if any(value_tainted(arg) for arg in operands):
+                        yield Violation(
+                            self.id, rel, call.lineno, call.col_offset,
+                            "loop-owned object stored in module-level "
+                            "container %r; it outlives its event loop and "
+                            "leaks across shard reruns" % call.func.value.id)
 
 
 #: Name pattern for RNG-holding locals/attributes.
