@@ -30,6 +30,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..hotpath import hot_path
 from .coefficients import coefficient_bytes
 from .gf256 import gf_addmul_scalar_buffer, gf_addmul_vec, gf_inv, gf_mul_vec
 
@@ -159,6 +160,7 @@ class RlncEncoder:
             width = max(width, len(pkt.payload) + LENGTH_PREFIX_SIZE)
         return width
 
+    @hot_path
     def encode(self, start_id: int, count: int, seed: int) -> bytes:
         """Produce the coded payload for header (count, seed, start_id).
 
@@ -336,6 +338,7 @@ class RlncDecoder:
             old = self._recent_order.popleft()
             self._recent.pop(old, None)
 
+    @hot_path
     def push(self, start_id: int, count: int, seed: int, payload: bytes) -> List[Tuple[int, bytes]]:
         """Ingest one XNC_NC payload; return newly decoded packets."""
         if not 1 <= count <= MAX_RANGE_PACKETS:
@@ -355,14 +358,17 @@ class RlncDecoder:
             rng = _RangeDecoder(start_id, count)
             self._ranges[key] = rng
             self.stats.ranges_opened += 1
-            # seed with originals that arrived before this range opened
+            # seed with originals that arrived before this range opened;
+            # add_equation copies its inputs, so one unit vector is
+            # cleared and reused across the seeding loop
+            vec = np.zeros(count, dtype=np.uint8)
             for pid in range(start_id, start_id + count):
                 known = self._recent.get(pid)
                 if known is None:
                     continue
-                vec = np.zeros(count, dtype=np.uint8)
                 vec[pid - start_id] = 1
                 rng.add_equation(vec, _frame(known, len(known) + LENGTH_PREFIX_SIZE))
+                vec[pid - start_id] = 0
 
         coeffs = np.frombuffer(coefficient_bytes(seed, count), dtype=np.uint8)
         added = rng.add_equation(coeffs, np.frombuffer(payload, dtype=np.uint8))
@@ -383,7 +389,7 @@ class RlncDecoder:
         completed = []
         for key, rng in self._ranges.items():
             if rng.start_id <= packet_id < rng.start_id + rng.count:
-                vec = np.zeros(rng.count, dtype=np.uint8)
+                vec = np.zeros(rng.count, dtype=np.uint8)  # lint: hot-ok(reordered-original path, runs per open range not per packet; vector length varies per range)
                 vec[packet_id - rng.start_id] = 1
                 width = max(rng.width, len(payload) + LENGTH_PREFIX_SIZE)
                 rng.add_equation(vec, _frame(payload, width))

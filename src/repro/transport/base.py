@@ -26,6 +26,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.frames import XncNcFrame
 from ..emulation.emulator import MultipathEmulator
+from ..hotpath import hot_path
 from ..emulation.events import EventLoop, PeriodicTimer
 from ..multipath.path import (
     HEALTH_PROBING,
@@ -202,6 +203,7 @@ class TunnelClientBase:
 
     # -- application ingress -------------------------------------------------
 
+    @hot_path
     def send_app_packet(self, payload: bytes, frame_id: Optional[int] = None) -> Optional[int]:
         """Accept one application packet into the tunnel; returns its ID,
         or None when the ingress (tun) queue tail-dropped it."""
@@ -274,13 +276,14 @@ class TunnelClientBase:
             return
         guard = 0
         tel = self.telemetry
+        queue = self._queue  # one attribute walk for the whole drain loop
         # sim time cannot advance inside one event callback, so one read
         # of the clock serves the whole drain loop
         now = self.loop.now
-        while self._queue:
-            pkt = self._queue[0]
+        while queue:
+            pkt = queue[0]
             if self._queue_entry_stale(pkt, now):
-                self._queue.popleft()
+                queue.popleft()
                 self._queue_bytes -= pkt.size
                 self.stats.expired_packets += 1
                 if tel.enabled:
@@ -302,7 +305,7 @@ class TunnelClientBase:
                 return
             if self.sanitizer.enabled:
                 self.sanitizer.check_scheduler_targets(targets, wire_estimate, now)
-            self._queue.popleft()
+            queue.popleft()
             self._queue_bytes -= pkt.size
             if tel.enabled:
                 tel.event(now, ev.SCHEDULED, pkt.packet_id,
@@ -318,7 +321,7 @@ class TunnelClientBase:
                                 sched_path=targets[0].path_id)
             for i, path in enumerate(targets):
                 is_dup = i > 0
-                self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)
+                self._transmit_frame(path, frame, (pkt.packet_id,), is_recovery=False, is_dup=is_dup)  # lint: hot-ok(the app-id tuple is retained in per-packet SentInfo; it is the record, not churn)
             guard += 1
             if guard > 100_000:
                 raise RuntimeError("pump loop runaway")
@@ -406,6 +409,7 @@ class TunnelClientBase:
 
     # -- downlink (ACK) processing --------------------------------------------
 
+    @hot_path
     def _on_downlink(self, path_id: int, payload: Any, now: float) -> None:
         if self.closed or not isinstance(payload, QuicPacket):
             return
@@ -639,6 +643,7 @@ class TunnelServerBase:
 
     # -- uplink processing -------------------------------------------------------
 
+    @hot_path
     def _on_uplink(self, path_id: int, payload: Any, now: float) -> None:
         if self.closed or not isinstance(payload, QuicPacket):
             return

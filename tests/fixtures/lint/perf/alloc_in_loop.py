@@ -1,0 +1,125 @@
+"""Planted alloc-in-hot-loop violations (plus justified negatives).
+
+Each PLANT marker sits on the exact line the rule must report.  Hotness
+comes from the syntactic ``@hot_path`` decorator match — the local
+decorator below stands in for :mod:`repro.hotpath`.  Never imported —
+parsed only by the lint tests.
+"""
+
+import numpy as np
+
+__all__ = []
+
+
+def hot_path(fn):
+    return fn
+
+
+@hot_path
+def frame_headers(packets, out):
+    for pkt in packets:
+        out.append([pkt.kind, pkt.size])  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def frame_meta(packets, out):
+    for pkt in packets:
+        out[pkt.seq] = {"kind": pkt.kind}  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def frame_keys(packets, out):
+    for pkt in packets:
+        out[pkt.seq] = (pkt.path, pkt.seq)  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def frame_labels(packets, emit):
+    for pkt in packets:
+        emit(f"pkt-{pkt.seq}")  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def frame_names(packets, emit):
+    for pkt in packets:
+        emit("pkt-%d" % pkt.seq)  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def frame_tags(packets, emit):
+    for pkt in packets:
+        emit(pkt.tag + b"|")  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def make_callbacks(packets, sched):
+    for pkt in packets:
+        def fire():  # PLANT: alloc-in-hot-loop
+            return pkt.seq
+        sched.defer(fire)
+
+
+@hot_path
+def sort_each(windows):
+    for w in windows:
+        w.sort(key=lambda item: item.seq)  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def reset_windows(windows):
+    for w in windows:
+        w.scratch = bytearray(64)  # PLANT: alloc-in-hot-loop
+
+
+class Record:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+@hot_path
+def record_all(packets, out):
+    for pkt in packets:
+        out.append(Record(pkt.seq))  # PLANT: alloc-in-hot-loop
+
+
+@hot_path
+def zero_rows(rows):
+    for r in rows:
+        r.vec = np.zeros(r.count)  # PLANT: alloc-in-hot-loop
+
+
+# negative: a justified allocation stays silent
+@hot_path
+def justified(packets, out):
+    for pkt in packets:
+        out.append([pkt.seq])  # lint: hot-ok(result list is the return value; one per packet by contract)
+
+
+# negative: obs-guarded block only runs in instrumented mode
+@hot_path
+def guarded_formatting(packets, tel):
+    for pkt in packets:
+        if tel.enabled:
+            tel.note("pkt %d" % pkt.seq)
+
+
+# negative: parallel unpack compiles to stack ops, no tuple
+@hot_path
+def swap_pairs(pairs):
+    for p in pairs:
+        a, b = p.left, p.right
+        p.left, p.right = b, a
+
+
+# negative: allocations feeding a return leave the loop
+@hot_path
+def find_packet(packets, seq):
+    for pkt in packets:
+        if pkt.seq == seq:
+            return (pkt.seq, pkt.size)
+    return None
+
+
+# hazard: a hot-ok pragma that gives no reason is itself a violation
+def scratch_buffer(n):
+    return bytearray(n)  # lint: hot-ok()  # PLANT: alloc-in-hot-loop

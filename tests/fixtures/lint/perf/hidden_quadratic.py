@@ -1,0 +1,77 @@
+"""Planted hidden-quadratic violations (plus linear negatives).
+
+Accumulator copies disguised as appends, and nested iteration over the
+same collection.  Never imported — parsed only by the lint tests.
+"""
+
+__all__ = []
+
+
+def hot_path(fn):
+    return fn
+
+
+@hot_path
+def join_chunks(chunks):
+    buf = b""
+    for chunk in chunks:
+        buf += chunk  # PLANT: hidden-quadratic
+    return buf
+
+
+@hot_path
+def collect_ids(windows):
+    ids = []
+    for w in windows:
+        ids = ids + w.ids  # PLANT: hidden-quadratic
+    return ids
+
+
+@hot_path
+def render_report(rows):
+    text = ""
+    for row in rows:
+        text += row.label  # PLANT: hidden-quadratic
+    return text
+
+
+@hot_path
+def find_duplicates(packets, emit):
+    for a in packets:
+        for b in packets:  # PLANT: hidden-quadratic
+            if a.seq == b.seq and a is not b:
+                emit(a.seq)
+
+
+@hot_path
+def cross_check(table, emit):
+    for key in table.keys():
+        for other in table.keys():  # PLANT: hidden-quadratic
+            if key != other:
+                emit(key)
+
+
+# negative: integer accumulation is O(1) per step
+@hot_path
+def total_bytes(packets):
+    total = 0
+    for pkt in packets:
+        total += pkt.size
+    return total
+
+
+# negative: nested loops over *different* collections are not self-joins
+@hot_path
+def pair_paths(paths, probes, emit):
+    for path in paths:
+        for probe in probes:
+            emit(path, probe)
+
+
+# negative: a justified constant-bound accumulator stays silent
+@hot_path
+def splice_headers(parts):
+    header = b""
+    for part in parts:
+        header += part  # lint: hot-ok(header count is <= 3 by frame layout; quadratic in a constant)
+    return header

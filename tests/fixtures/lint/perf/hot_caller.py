@@ -1,0 +1,21 @@
+"""Cross-module hotness propagation: the decorated entry point.
+
+``drive`` is the only decorated function; the planted violation lives
+in ``hot_helper.py``, which becomes hot purely through the call edge
+resolved across the from-import.  Never imported — parsed only by the
+lint tests.
+"""
+
+from tests.fixtures.lint.perf.hot_helper import shift_window
+
+__all__ = []
+
+
+def hot_path(fn):
+    return fn
+
+
+@hot_path
+def drive(windows):
+    for w in windows:
+        shift_window(w)

@@ -1,0 +1,20 @@
+"""Cross-module hotness propagation: the undecorated callee.
+
+No ``@hot_path`` anywhere in this module — ``shift_window`` is hot only
+because ``hot_caller.drive`` (decorated) calls it, so its finding
+documents transitive propagation.  Never imported — parsed only by the
+lint tests.
+"""
+
+__all__ = []
+
+
+def shift_window(window):
+    for slot in window.slots:
+        slot.tag = (window.epoch, slot.seq)  # PLANT: alloc-in-hot-loop
+
+
+def cold_helper(window):
+    # negative: not reachable from any hot entry point, identical shape
+    for slot in window.slots:
+        slot.tag = (window.epoch, slot.seq)

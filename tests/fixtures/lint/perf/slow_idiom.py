@@ -1,0 +1,72 @@
+"""Planted slow-idiom violations (plus fast-variant negatives).
+
+Constant-factor sinks in hot functions: list.pop(0), bare struct.pack,
+membership tests on lists, re-dereferenced attribute chains, try/except
+in tight loops.  Never imported — parsed only by the lint tests.
+"""
+
+import struct
+
+__all__ = []
+
+_HEADER = struct.Struct(">HH")
+
+
+def hot_path(fn):
+    return fn
+
+
+@hot_path
+def drain_queue(queue, emit):
+    while queue:
+        emit(queue.pop(0))  # PLANT: slow-idiom
+
+
+@hot_path
+def encode_headers(packets, emit):
+    for pkt in packets:
+        emit(struct.pack(">HH", pkt.seq, pkt.size))  # PLANT: slow-idiom
+
+
+@hot_path
+def classify(kind, payload):
+    if kind in ["video", "audio", "repair"]:  # PLANT: slow-idiom
+        return payload
+    return b""
+
+
+@hot_path
+def has_stream(streams, name):
+    known = list(streams)
+    return name in known  # PLANT: slow-idiom
+
+
+@hot_path
+def spend(paths, sizes, emit):
+    for size in sizes:
+        if size <= paths.primary.cc.window:  # PLANT: slow-idiom
+            emit(size)
+        if size > paths.primary.cc.window:
+            emit(0)
+
+
+@hot_path
+def parse_all(blobs, out):
+    for blob in blobs:
+        try:  # PLANT: slow-idiom
+            out.append(parse_one(blob))
+        except ValueError:
+            out.append(None)
+
+
+def parse_one(blob):
+    if not blob:
+        raise ValueError("empty blob")
+    return blob[0]
+
+
+# negative: a precompiled Struct's bound method is the fast variant
+@hot_path
+def encode_fast(packets, emit):
+    for pkt in packets:
+        emit(_HEADER.pack(pkt.seq, pkt.size))

@@ -1,0 +1,56 @@
+"""Planted unguarded-hot-call violations (plus guarded negatives).
+
+Observability calls in hot functions must sit behind the obs layer's
+``enabled`` / ``is not None`` / truthiness guards.  Never imported —
+parsed only by the lint tests.
+"""
+
+__all__ = []
+
+
+def hot_path(fn):
+    return fn
+
+
+@hot_path
+def trace_sends(packets, spans):
+    for pkt in packets:
+        spans.record("send", pkt.seq)  # PLANT: unguarded-hot-call
+
+
+@hot_path
+def log_drops(packets, logger):
+    for pkt in packets:
+        if pkt.dropped:
+            logger.debug("dropped %d", pkt.seq)  # PLANT: unguarded-hot-call
+
+
+# negative: enabled-flag guard
+@hot_path
+def trace_guarded(packets, spans):
+    for pkt in packets:
+        if spans.enabled:
+            spans.record("send", pkt.seq)
+
+
+# negative: is-not-None guard enclosing the loop
+@hot_path
+def log_guarded(packets, logger):
+    if logger is not None:
+        for pkt in packets:
+            logger.debug("pkt %d", pkt.seq)
+
+
+# negative: bare truthiness guard on the receiver
+@hot_path
+def annotate_guarded(packets, tracer):
+    for pkt in packets:
+        if tracer:
+            tracer.annotate(pkt.seq)
+
+
+# negative: a justified call stays silent
+@hot_path
+def span_justified(packets, spans):
+    for pkt in packets:
+        spans.start(pkt.seq)  # lint: hot-ok(span start is the measured operation in this bench body)

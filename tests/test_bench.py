@@ -13,7 +13,12 @@ import json
 import pytest
 
 from tools.bench import main as bench_main
-from tools.bench.harness import Benchmark, Workload, run_benchmark
+from tools.bench.harness import (
+    Benchmark,
+    Workload,
+    measure_allocs_per_op,
+    run_benchmark,
+)
 from tools.bench.schema import (
     REQUIRED_FAMILIES,
     SCHEMA_VERSION,
@@ -24,8 +29,13 @@ from tools.bench.schema import (
 from tools.bench.suites import all_benchmarks
 
 
-def make_doc(**value_overrides):
-    """A minimal valid schema-v1 document covering all four families."""
+def make_doc(version=SCHEMA_VERSION, allocs=None, **value_overrides):
+    """A minimal valid document covering all four families.
+
+    ``version=1`` builds a pre-allocation-era artifact (no
+    ``allocs_per_op``, the BENCH_PR4.json shape); the default builds the
+    current version with ``allocs`` (family -> blocks/op, default 2.0).
+    """
     names = {
         "events": "events.schedule_fire",
         "gf": "gf256.addmul_1MiB",
@@ -42,16 +52,19 @@ def make_doc(**value_overrides):
     benches = []
     for fam in REQUIRED_FAMILIES:
         v = value_overrides.get(fam, defaults[fam])
-        benches.append({
+        b = {
             "name": names[fam],
             "family": fam,
             "unit": units[fam],
             "value": v,
             "stddev": v * 0.01,
             "trials": [v * 0.99, v, v * 1.01],
-        })
+        }
+        if version >= 2:
+            b["allocs_per_op"] = (allocs or {}).get(fam, 2.0)
+        benches.append(b)
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": version,
         "meta": {
             "tool": "repro bench",
             "mode": "full",
@@ -118,13 +131,46 @@ class TestSchemaValidation:
         tunnel = [b for b in doc["benchmarks"] if b["family"] == "tunnel"]
         assert tunnel and all(b.get("speedup", 0) >= 1.5 for b in tunnel)
 
+    def test_committed_v2_artifact_is_valid(self):
+        import os
+
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(here, "BENCH_PR8.json")
+        if not os.path.exists(path):
+            pytest.skip("BENCH_PR8.json not generated yet")
+        with open(path) as f:
+            doc = json.load(f)
+        assert validate_document(doc) == []
+        assert doc["schema_version"] == 2
+        assert all("allocs_per_op" in b for b in doc["benchmarks"])
+
+    def test_v1_document_still_accepted(self):
+        # BENCH_PR4.json-shaped artifacts must never need regeneration
+        assert validate_document(make_doc(version=1)) == []
+
+    def test_v2_requires_allocs_per_op(self):
+        doc = make_doc()
+        del doc["benchmarks"][0]["allocs_per_op"]
+        assert any("allocs_per_op" in p for p in validate_document(doc))
+
+    def test_v1_rejects_allocs_per_op(self):
+        doc = make_doc(version=1)
+        doc["benchmarks"][0]["allocs_per_op"] = 1.0
+        assert any("schema_version 2" in p for p in validate_document(doc))
+
+    def test_negative_allocs_rejected(self):
+        doc = make_doc()
+        doc["benchmarks"][0]["allocs_per_op"] = -1.0
+        assert any("non-negative" in p for p in validate_document(doc))
+
 
 class TestCompareGating:
     def test_no_regression(self):
         old, new = make_doc(), make_doc()
         regressions, notes = compare_documents(old, new, 10.0)
         assert regressions == []
-        assert len(notes) == len(REQUIRED_FAMILIES)
+        # one throughput note plus one allocation note per benchmark
+        assert len(notes) == 2 * len(REQUIRED_FAMILIES)
 
     def test_detects_regression(self):
         old = make_doc()
@@ -157,6 +203,56 @@ class TestCompareGating:
         assert regressions == []
         assert any("new benchmark" in n for n in notes)
         assert any("old run only" in n for n in notes)
+
+
+class TestAllocGate:
+    def test_alloc_regression_trips_gate(self):
+        old = make_doc()
+        new = make_doc(allocs={"wire": 9.0})  # 2.0 -> 9.0 blocks/op
+        regressions, _ = compare_documents(old, new, 10.0)
+        assert len(regressions) == 1
+        assert "allocs_per_op" in regressions[0] and "wire" in regressions[0]
+
+    def test_abs_slack_absorbs_sub_block_noise(self):
+        # near-zero budgets: +0.4 blocks/op sits inside the 0.5 slack
+        old = make_doc(allocs={f: 0.1 for f in REQUIRED_FAMILIES})
+        near = make_doc(allocs={f: 0.5 for f in REQUIRED_FAMILIES})
+        assert compare_documents(old, near, 10.0)[0] == []
+        past = make_doc(allocs={f: 0.7 for f in REQUIRED_FAMILIES})
+        assert len(compare_documents(old, past, 10.0)[0]) == len(REQUIRED_FAMILIES)
+
+    def test_pct_budget_dominates_for_large_budgets(self):
+        old = make_doc(allocs={"gf": 100.0})
+        within = make_doc(allocs={"gf": 109.0})  # +9% < 10%
+        assert compare_documents(old, within, 10.0)[0] == []
+        past = make_doc(allocs={"gf": 111.0})  # +11% > 10%
+        regressions, _ = compare_documents(old, past, 10.0)
+        assert len(regressions) == 1 and "gf256" in regressions[0]
+
+    def test_v1_baseline_is_not_gated(self):
+        # comparing a fresh v2 run against the committed v1 artifact
+        # must neither crash nor manufacture allocation regressions
+        old = make_doc(version=1)
+        new = make_doc(allocs={f: 1e9 for f in REQUIRED_FAMILIES})
+        regressions, notes = compare_documents(old, new, 10.0)
+        assert regressions == []
+        assert sum("not gated" in n for n in notes) == len(REQUIRED_FAMILIES)
+
+    def test_no_time_gate_keeps_alloc_gate(self):
+        old = make_doc()
+        # throughput collapse AND allocation blow-up
+        new = make_doc(tunnel=1.0, allocs={"tunnel": 50.0})
+        regressions, notes = compare_documents(old, new, 10.0, time_gate=False)
+        assert len(regressions) == 1 and "allocs_per_op" in regressions[0]
+        assert any("time not gated" in n for n in notes)
+
+    def test_custom_alloc_budget_pct(self):
+        old = make_doc(allocs={"gf": 100.0})
+        new = make_doc(allocs={"gf": 140.0})
+        assert compare_documents(old, new, 10.0,
+                                 max_alloc_regression_pct=50.0)[0] == []
+        assert len(compare_documents(old, new, 10.0,
+                                     max_alloc_regression_pct=30.0)[0]) == 1
 
 
 class TestBaselineMerge:
@@ -228,6 +324,48 @@ class TestCliGating:
         for fam in REQUIRED_FAMILIES:
             assert fam in out
 
+    def test_compare_trips_on_doctored_allocs(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", make_doc())
+        doctored = self._write(tmp_path, "new.json",
+                               make_doc(allocs={"wire": 40.0}))
+        rc = bench_main(["--input", doctored, "--compare", old])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "allocs_per_op" in err
+
+    def test_no_time_gate_flag(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", make_doc())
+        # throughput collapse alone passes when time gating is off...
+        slow = self._write(tmp_path, "slow.json", make_doc(wire=1.0))
+        assert bench_main(["--input", slow, "--compare", old,
+                           "--no-time-gate"]) == 0
+        capsys.readouterr()
+        # ...but an allocation blow-up still fails
+        fat = self._write(tmp_path, "fat.json",
+                          make_doc(wire=1.0, allocs={"wire": 40.0}))
+        assert bench_main(["--input", fat, "--compare", old,
+                           "--no-time-gate"]) == 1
+
+    def test_max_alloc_regression_flag(self, tmp_path):
+        old = self._write(tmp_path, "old.json", make_doc())
+        new = self._write(tmp_path, "new.json",
+                          make_doc(allocs={"wire": 3.0}))  # +50%
+        assert bench_main(["--input", new, "--compare", old,
+                           "--max-alloc-regression", "60"]) == 0
+        assert bench_main(["--input", new, "--compare", old,
+                           "--max-alloc-regression", "20"]) == 1
+
+    def test_v1_artifact_accepted_by_input_and_baseline(self, tmp_path, capsys):
+        # the schema-migration bugfix: v1 files work in every read path
+        v1 = self._write(tmp_path, "v1.json", make_doc(version=1))
+        v2 = self._write(tmp_path, "v2.json", make_doc(tunnel=24.0))
+        assert bench_main(["--validate", v1]) == 0
+        capsys.readouterr()
+        rc = bench_main(["--input", v2, "--compare", v1, "--baseline", v1])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not gated" in out
+
 
 class TestHarness:
     def test_registry_covers_required_families(self):
@@ -264,3 +402,40 @@ class TestHarness:
         assert len(set(counts)) == 1  # same work every trial, both runs
         assert r1.value > 0 and r2.value > 0
         assert len(r1.trials) == 2  # smoke forces 2 trials
+
+    def test_run_benchmark_records_allocs_per_op(self):
+        def body(workload):
+            return 100.0
+
+        bench = Benchmark(name="x.count", family="x", unit="ops/s",
+                          body=body, trials=2, warmup=1)
+        result = run_benchmark(bench, Workload(mode="smoke", scale=1.0))
+        assert result.allocs_per_op is not None
+        assert result.allocs_per_op >= 0.0
+        assert result.as_dict()["allocs_per_op"] == result.allocs_per_op
+
+    def test_measure_allocs_counts_retention_not_churn(self):
+        retained = []
+
+        def retaining(workload):
+            retained.append(["x"] * 64)  # kept alive: net growth
+            return 1.0
+
+        def churning(workload):
+            for _ in range(100):
+                scratch = ["x"] * 64  # dropped each iteration
+            return float(len(scratch))
+
+        grows = measure_allocs_per_op(retaining, Workload(mode="smoke"))
+        stays = measure_allocs_per_op(churning, Workload(mode="smoke"))
+        assert grows >= 1.0  # at least the retained list itself
+        assert stays < grows  # transient churn is not retention
+
+    def test_measure_allocs_clamps_at_zero(self):
+        sink = [bytearray(1024) for _ in range(64)]
+
+        def freeing(workload):
+            sink.clear()  # frees more than it allocates
+            return 1.0
+
+        assert measure_allocs_per_op(freeing, Workload(mode="smoke")) == 0.0

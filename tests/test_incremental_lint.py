@@ -47,6 +47,23 @@ class TestFullRepoParity:
         assert stats["changed"] == 0 and stats["analyzed"] == 0
         assert _key(warm) == _key(full)
 
+    def test_cold_then_warm_parity_with_perf(self, tmp_path):
+        # the perf pass rides the same closure: call edges only exist
+        # along imports, so the import-graph closure stays sound
+        cache = tmp_path / "cache.json"
+        full = lint_paths(REPO_ROOT, lint.DEFAULT_TARGETS, deep=True,
+                          shard=True, perf=True)
+        cold, stats = lint_paths_incremental(
+            REPO_ROOT, lint.DEFAULT_TARGETS, deep=True, shard=True,
+            perf=True, cache_path=cache)
+        assert stats["cold"]
+        assert _key(cold) == _key(full)
+        warm, stats = lint_paths_incremental(
+            REPO_ROOT, lint.DEFAULT_TARGETS, deep=True, shard=True,
+            perf=True, cache_path=cache)
+        assert not stats["cold"] and stats["analyzed"] == 0
+        assert _key(warm) == _key(full)
+
 
 def _write_tree(root, files):
     for rel, text in files.items():
@@ -205,6 +222,70 @@ class TestSyntheticTree:
         monkeypatch.setattr(incremental, "_rules_fingerprint",
                             lambda: "a-different-rule-set")
         _, stats = self._run(project, cache)
+        assert stats["cold"]
+
+
+class TestPerfIncremental:
+    """Perf-pass findings move with the call graph under --changed."""
+
+    TARGETS = ["src/repro"]
+
+    @pytest.fixture
+    def hot_project(self, tmp_path):
+        """a.py's decorated entry point makes b.helper hot cross-module."""
+        _write_tree(tmp_path, {
+            "src/repro/a.py": ("from repro.b import helper\n"
+                               "__all__ = []\n"
+                               "def hot_path(fn):\n"
+                               "    return fn\n"
+                               "@hot_path\n"
+                               "def entry(xs):\n"
+                               "    for x in xs:\n"
+                               "        helper(x)\n"),
+            "src/repro/b.py": ("__all__ = ['helper']\n"
+                               "def helper(x):\n"
+                               "    out = []\n"
+                               "    for i in x:\n"
+                               "        out.append([i])\n"
+                               "    return out\n"),
+        })
+        return tmp_path
+
+    def _run(self, root, cache):
+        return lint_paths_incremental(root, self.TARGETS, perf=True,
+                                      cache_path=cache)
+
+    def test_cross_module_hot_finding_cached_and_spliced(self, hot_project):
+        cache = hot_project / "cache.json"
+        first, stats = self._run(hot_project, cache)
+        assert stats["cold"]
+        assert any(v.rule == "alloc-in-hot-loop"
+                   and v.path == "src/repro/b.py" for v in first)
+        warm, stats = self._run(hot_project, cache)
+        assert not stats["cold"] and stats["analyzed"] == 0
+        assert _key(warm) == _key(first)
+
+    def test_hotness_change_in_caller_updates_callee_finding(self, hot_project):
+        # removing the caller's @hot_path makes b.helper cold; the
+        # incremental run must drop b's cached finding even though
+        # b.py itself did not change (closure pulls it in via the edge)
+        cache = hot_project / "cache.json"
+        self._run(hot_project, cache)
+        a = hot_project / "src/repro/a.py"
+        a.write_text(a.read_text().replace("@hot_path\n", ""),
+                     encoding="utf-8")
+        got, stats = self._run(hot_project, cache)
+        assert not stats["cold"]
+        assert stats["analyzed"] >= 2  # a.py and its dependency b.py
+        assert not any(v.path == "src/repro/b.py" for v in got)
+        full = lint_paths(hot_project, self.TARGETS, perf=True)
+        assert _key(got) == _key(full)
+
+    def test_perf_flag_is_part_of_the_cache_key(self, hot_project):
+        cache = hot_project / "cache.json"
+        self._run(hot_project, cache)
+        _, stats = lint_paths_incremental(hot_project, self.TARGETS,
+                                          perf=False, cache_path=cache)
         assert stats["cold"]
 
 

@@ -1,0 +1,479 @@
+"""Self-test for the hot-path perf lint pass (``repro lint --perf``).
+
+Mirrors ``tests/test_shard_lint.py`` one level up, for the fourth pass:
+
+* ``test_repo_perf_lints_clean`` — the whole tree passes the perf pass,
+  so a PR re-introducing per-packet allocation churn, a slow idiom, a
+  hidden quadratic, or an unguarded observability call on a hot path
+  fails the suite (every justified cost carries its ``hot-ok`` pragma);
+* ``TestPlantedFixtures`` — every violation planted under
+  ``tests/fixtures/lint/perf/`` is detected with the correct rule id,
+  file, and line, including the cross-module hot-caller pair whose
+  finding exists only through call-graph hotness propagation.
+
+Below those sit unit tests for the hotness model (bench-suite seeding,
+``@hot_path`` seeding, transitive propagation, method/constructor/
+callback resolution), the pragma grammar, each rule's classification
+edges, and the runtime registry's agreement with the static analyzer.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+import tools.lint as lint
+from tools.lint.engine import ModuleSource, iter_py_files, lint_paths
+from tools.lint.graph import HOT_SEED_MODULE, Project
+from tools.lint.perf import hot_ok_pragmas
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIX_DIR = "tests/fixtures/lint/perf"
+PERF_RULE_IDS = ("alloc-in-hot-loop", "slow-idiom", "hidden-quadratic",
+                 "unguarded-hot-call")
+
+_PLANT_RE = re.compile(r"#\s*PLANT:\s*(?P<id>[a-z0-9\-]+)")
+
+
+def planted_expectations():
+    """(rule, rel-path, line) triples declared by the fixtures' markers."""
+    expected = set()
+    for path in sorted((REPO_ROOT / FIX_DIR).glob("*.py")):
+        rel = "%s/%s" % (FIX_DIR, path.name)
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            m = _PLANT_RE.search(line)
+            if m:
+                expected.add((m.group("id"), rel, lineno))
+    return expected
+
+
+def make_project(files):
+    """An in-memory Project from {repo-relative path: source text}."""
+    sources = {
+        rel: ModuleSource(Path("<memory>") / rel, rel, text)
+        for rel, text in files.items()
+    }
+    return Project(sources)
+
+
+def call_graph(files):
+    return make_project(files).call_graph()
+
+
+def perf_violations(files, rule_id):
+    """Run one perf rule over an in-memory project."""
+    from tools.lint.engine import all_perf_rules
+
+    project = make_project(files)
+    rule = {r.id: r for r in all_perf_rules()}[rule_id]
+    return list(rule.check_project(project))
+
+
+#: Minimal module preamble giving fixtures a syntactic @hot_path.
+_HOT = "__all__ = []\ndef hot_path(fn):\n    return fn\n"
+
+
+def test_repo_perf_lints_clean():
+    """`repro lint --perf` exits 0 on the repo (the enforced gate)."""
+    violations = lint_paths(REPO_ROOT, lint.DEFAULT_TARGETS, perf=True)
+    assert violations == [], "repo must perf-lint clean:\n%s" % "\n".join(
+        v.format() for v in violations)
+
+
+class TestPlantedFixtures:
+    def test_all_planted_violations_detected(self):
+        expected = planted_expectations()
+        assert len(expected) >= 20, "fixtures lost their planted markers"
+        got = lint_paths(REPO_ROOT, [FIX_DIR], all_rules_everywhere=True,
+                         perf=True)
+        assert {(v.rule, v.path, v.line) for v in got} == expected
+
+    @pytest.mark.parametrize("rule_id", PERF_RULE_IDS)
+    def test_each_rule_flags_its_plant(self, rule_id):
+        expected = {(r, p, l) for r, p, l in planted_expectations()
+                    if r == rule_id}
+        assert expected, "no fixture plants rule %s" % rule_id
+        got = lint_paths(REPO_ROOT, [FIX_DIR], rule_ids=[rule_id],
+                         all_rules_everywhere=True, perf=True)
+        assert {(v.rule, v.path, v.line) for v in got} == expected
+
+    def test_cross_module_plant_needs_propagation(self):
+        # the hot_helper.py plant is only reachable through the call
+        # edge from hot_caller.drive — it must be found...
+        expected = {t for t in planted_expectations()
+                    if t[1].endswith("hot_helper.py")}
+        assert expected, "cross-module fixture lost its plant"
+        got = lint_paths(REPO_ROOT, [FIX_DIR], all_rules_everywhere=True,
+                         perf=True)
+        assert expected <= {(v.rule, v.path, v.line) for v in got}
+        # ...while the identically-shaped cold_helper stays silent
+        helper_rel = "%s/hot_helper.py" % FIX_DIR
+        cg = Project({
+            rel: ModuleSource(path, rel, path.read_text(encoding="utf-8"))
+            for path, rel in iter_py_files(REPO_ROOT, [FIX_DIR])
+        }).call_graph()
+        module = "tests.fixtures.lint.perf.hot_helper"
+        assert cg.is_hot((module, "shift_window"))
+        assert not cg.is_hot((module, "cold_helper"))
+        assert "called from" in cg.hot_reason((module, "shift_window"))
+        assert helper_rel in {f.rel for f in cg.hot_functions()}
+
+    def test_perf_scoping_keeps_fixtures_out_of_the_gate(self):
+        # fixtures live outside src/repro/, so the default-scope perf
+        # run (the one CI enforces) must not see them
+        assert lint_paths(REPO_ROOT, [FIX_DIR], perf=True) == []
+
+    def test_per_file_pass_silent_on_perf_fixtures(self):
+        # the fixtures are deliberately clean under every per-file rule
+        assert lint_paths(REPO_ROOT, [FIX_DIR]) == []
+        assert lint_paths(
+            REPO_ROOT, [FIX_DIR], all_rules_everywhere=True) == []
+
+    def test_perf_rule_id_requires_perf_flag(self):
+        with pytest.raises(ValueError, match="need --perf"):
+            lint_paths(REPO_ROOT, [FIX_DIR],
+                       rule_ids=["alloc-in-hot-loop"])
+
+    def test_perf_and_other_passes_are_independent(self):
+        # --deep / --shard-safety alone must not run the perf rules
+        got = lint_paths(REPO_ROOT, [FIX_DIR], all_rules_everywhere=True,
+                         deep=True, shard=True)
+        assert not any(v.rule in PERF_RULE_IDS for v in got)
+
+
+class TestHotnessModel:
+    def test_bench_module_functions_are_seeds(self):
+        files = {"tools/bench/suites.py":
+                 "__all__ = []\ndef bench_one():\n    return 1\n"}
+        cg = call_graph(files)
+        key = (HOT_SEED_MODULE, "bench_one")
+        assert cg.is_hot(key)
+        assert "bench entry point" in cg.hot_reason(key)
+
+    def test_hot_path_decorator_is_a_seed(self):
+        files = {"src/repro/m.py": _HOT + "@hot_path\ndef f():\n    return 1\n"}
+        cg = call_graph(files)
+        assert cg.is_hot(("repro.m", "f"))
+        assert cg.hot_reason(("repro.m", "f")) == "@hot_path"
+
+    def test_hotness_propagates_across_modules(self):
+        files = {
+            "src/repro/a.py": ("from repro.b import helper\n" + _HOT +
+                               "@hot_path\ndef entry(xs):\n"
+                               "    for x in xs:\n"
+                               "        helper(x)\n"),
+            "src/repro/b.py": "__all__ = []\ndef helper(x):\n    return x\n",
+        }
+        cg = call_graph(files)
+        assert cg.is_hot(("repro.b", "helper"))
+        assert cg.hot_reason(("repro.b", "helper")) == "called from repro.a.entry"
+
+    def test_self_method_calls_resolve(self):
+        src = (_HOT +
+               "class Enc:\n"
+               "    @hot_path\n"
+               "    def encode(self, xs):\n"
+               "        for x in xs:\n"
+               "            self.step(x)\n"
+               "    def step(self, x):\n"
+               "        return x\n")
+        cg = call_graph({"src/repro/m.py": src})
+        assert cg.is_hot(("repro.m", "Enc.encode"))
+        assert cg.is_hot(("repro.m", "Enc.step"))
+
+    def test_constructor_and_local_var_inference(self):
+        src = (_HOT +
+               "class Enc:\n"
+               "    def __init__(self):\n"
+               "        self.n = 0\n"
+               "    def push(self, x):\n"
+               "        return x\n"
+               "@hot_path\n"
+               "def run(xs):\n"
+               "    enc = Enc()\n"
+               "    for x in xs:\n"
+               "        enc.push(x)\n")
+        cg = call_graph({"src/repro/m.py": src})
+        assert cg.is_hot(("repro.m", "Enc.__init__"))
+        assert cg.is_hot(("repro.m", "Enc.push"))
+
+    def test_callback_arguments_escape_into_hotness(self):
+        src = (_HOT +
+               "def on_tick(t):\n"
+               "    return t\n"
+               "def cold(t):\n"
+               "    return t\n"
+               "@hot_path\n"
+               "def run(loop):\n"
+               "    loop.register(on_tick)\n")
+        cg = call_graph({"src/repro/m.py": src})
+        assert cg.is_hot(("repro.m", "on_tick"))
+        assert not cg.is_hot(("repro.m", "cold"))
+
+    def test_hot_functions_sorted_and_stable(self):
+        src = (_HOT +
+               "@hot_path\ndef b():\n    return 1\n"
+               "@hot_path\ndef a():\n    return 2\n")
+        cg = call_graph({"src/repro/m.py": src})
+        names = [f.qualname for f in cg.hot_functions()]
+        # order is (rel, lineno): definition order within one file
+        assert names == ["b", "a"]
+
+
+class TestHotOkPragma:
+    def test_pragma_parse(self):
+        lines = [
+            "buf = bytearray(64)  # lint: hot-ok(one buffer per call)",
+            "x = 1",
+            "y = {}  # lint: hot-ok()",
+        ]
+        got = hot_ok_pragmas(lines)
+        assert got == {1: "one buffer per call", 3: ""}
+
+    def test_pragma_with_reason_silences_finding(self):
+        src = (_HOT +
+               "@hot_path\n"
+               "def f(xs, out):\n"
+               "    for x in xs:\n"
+               "        out.append([x])  # lint: hot-ok(one row per item by contract)\n")
+        assert perf_violations({"src/repro/m.py": src},
+                               "alloc-in-hot-loop") == []
+
+    def test_empty_reason_is_reported(self):
+        src = "__all__ = []\ndef f(n):\n    return bytearray(n)  # lint: hot-ok()\n"
+        got = perf_violations({"src/repro/m.py": src}, "alloc-in-hot-loop")
+        assert len(got) == 1 and "without a reason" in got[0].message
+
+
+class TestAllocInHotLoopRule:
+    def _hits(self, body):
+        src = _HOT + "@hot_path\ndef f(xs, out, emit):\n" + body
+        return perf_violations({"src/repro/m.py": src}, "alloc-in-hot-loop")
+
+    def test_cold_function_is_silent(self):
+        src = ("__all__ = []\n"
+               "def f(xs, out):\n"
+               "    for x in xs:\n"
+               "        out.append([x])\n")
+        assert perf_violations({"src/repro/m.py": src},
+                               "alloc-in-hot-loop") == []
+
+    def test_loop_allocation_flagged_with_provenance(self):
+        got = self._hits("    for x in xs:\n        out.append([x])\n")
+        assert len(got) == 1
+        assert "hot function repro.m.f (@hot_path)" in got[0].message
+
+    def test_allocation_outside_loop_is_silent(self):
+        got = self._hits("    buf = bytearray(64)\n"
+                         "    for x in xs:\n"
+                         "        emit(x)\n"
+                         "    return buf\n")
+        assert got == []
+
+    def test_obs_guarded_block_is_silent(self):
+        got = self._hits("    for x in xs:\n"
+                         "        if emit.enabled:\n"
+                         "            emit('x %d' % x)\n")
+        assert got == []
+
+    def test_parallel_unpack_is_silent(self):
+        got = self._hits("    for x in xs:\n"
+                         "        a, b = x.left, x.right\n"
+                         "        x.left, x.right = b, a\n")
+        assert got == []
+
+
+class TestSlowIdiomRule:
+    def _hits(self, src_body):
+        return perf_violations({"src/repro/m.py": _HOT + src_body},
+                               "slow-idiom")
+
+    def test_pop_zero_flagged(self):
+        got = self._hits("@hot_path\ndef f(q):\n"
+                         "    while q:\n"
+                         "        q.pop(0)\n")
+        assert len(got) == 1 and "pop(0)" in got[0].message
+
+    def test_pop_last_is_silent(self):
+        assert self._hits("@hot_path\ndef f(q):\n"
+                          "    while q:\n"
+                          "        q.pop()\n") == []
+
+    def test_struct_pack_flagged_struct_struct_silent(self):
+        got = self._hits("import struct\n"
+                         "@hot_path\ndef f(x):\n"
+                         "    return struct.pack('>H', x)\n")
+        assert len(got) == 1 and "struct.Struct" in got[0].message
+        assert self._hits("import struct\n"
+                          "_S = struct.Struct('>H')\n"
+                          "@hot_path\ndef f(x):\n"
+                          "    return _S.pack(x)\n") == []
+
+    def test_repeated_attribute_chain_flagged(self):
+        got = self._hits("@hot_path\ndef f(c, xs, emit):\n"
+                         "    for x in xs:\n"
+                         "        if x <= c.path.cc.window:\n"
+                         "            emit(x)\n"
+                         "        if x > c.path.cc.window:\n"
+                         "            emit(0)\n")
+        assert len(got) == 1 and "c.path.cc.window" in got[0].message
+
+    def test_try_in_loop_flagged(self):
+        got = self._hits("@hot_path\ndef f(xs, out):\n"
+                         "    for x in xs:\n"
+                         "        try:\n"
+                         "            out.append(x)\n"
+                         "        except ValueError:\n"
+                         "            out.append(None)\n")
+        assert len(got) == 1 and "try/except" in got[0].message
+
+
+class TestHiddenQuadraticRule:
+    def _hits(self, src_body):
+        return perf_violations({"src/repro/m.py": _HOT + src_body},
+                               "hidden-quadratic")
+
+    def test_bytes_augassign_flagged(self):
+        got = self._hits("@hot_path\ndef f(chunks):\n"
+                         "    buf = b''\n"
+                         "    for c in chunks:\n"
+                         "        buf += c\n"
+                         "    return buf\n")
+        assert len(got) == 1 and "bytes accumulator" in got[0].message
+
+    def test_int_augassign_silent(self):
+        assert self._hits("@hot_path\ndef f(xs):\n"
+                          "    n = 0\n"
+                          "    for x in xs:\n"
+                          "        n += x\n"
+                          "    return n\n") == []
+
+    def test_rebinding_add_form_flagged(self):
+        got = self._hits("@hot_path\ndef f(xs):\n"
+                         "    ids = []\n"
+                         "    for x in xs:\n"
+                         "        ids = ids + x\n"
+                         "    return ids\n")
+        assert len(got) == 1 and "list accumulator" in got[0].message
+
+    def test_nested_same_collection_flagged(self):
+        got = self._hits("@hot_path\ndef f(xs, emit):\n"
+                         "    for a in xs:\n"
+                         "        for b in xs:\n"
+                         "            emit(a, b)\n")
+        assert len(got) == 1 and "O(n^2)" in got[0].message
+
+    def test_nested_different_collections_silent(self):
+        assert self._hits("@hot_path\ndef f(xs, ys, emit):\n"
+                          "    for a in xs:\n"
+                          "        for b in ys:\n"
+                          "            emit(a, b)\n") == []
+
+
+class TestUnguardedHotCallRule:
+    def _hits(self, src_body):
+        return perf_violations({"src/repro/m.py": _HOT + src_body},
+                               "unguarded-hot-call")
+
+    def test_unguarded_span_call_flagged(self):
+        got = self._hits("@hot_path\ndef f(xs, spans):\n"
+                         "    for x in xs:\n"
+                         "        spans.record('x', x)\n")
+        assert len(got) == 1 and "spans.record" in got[0].message
+
+    def test_enabled_guard_silences(self):
+        assert self._hits("@hot_path\ndef f(xs, spans):\n"
+                          "    for x in xs:\n"
+                          "        if spans.enabled:\n"
+                          "            spans.record('x', x)\n") == []
+
+    def test_is_not_none_guard_silences(self):
+        assert self._hits("@hot_path\ndef f(xs, logger):\n"
+                          "    if logger is not None:\n"
+                          "        for x in xs:\n"
+                          "            logger.debug('x %d', x)\n") == []
+
+    def test_non_obs_receiver_silent(self):
+        # .record on a non-observability name is not an obs call
+        assert self._hits("@hot_path\ndef f(xs, table):\n"
+                          "    for x in xs:\n"
+                          "        table.record(x)\n") == []
+
+    def test_obs_layer_is_exempt(self):
+        from tools.lint.engine import all_perf_rules
+
+        rule = {r.id: r for r in all_perf_rules()}["unguarded-hot-call"]
+        assert not rule.applies_to_path("src/repro/obs/spans.py")
+        assert rule.applies_to_path("src/repro/transport/base.py")
+
+
+class TestHotRegistryRuntime:
+    def test_decorator_is_a_runtime_no_op(self):
+        from repro.hotpath import hot_path, hot_registry
+
+        def probe(x):
+            return x + 1
+
+        decorated = hot_path(probe)
+        assert decorated is probe
+        key = "%s.%s" % (probe.__module__, probe.__qualname__)
+        assert hot_registry()[key] is probe
+
+    def test_registry_agrees_with_static_analyzer(self):
+        # every function the runtime registry knows must be hot in the
+        # static call graph under the same dotted name (decorators run
+        # at import time; the analyzer matches them syntactically)
+        import repro.core.rlnc  # noqa: F401
+        import repro.quic.wire  # noqa: F401
+        import repro.transport.base  # noqa: F401
+        from repro.hotpath import hot_registry
+
+        modules = {}
+        for path, rel in iter_py_files(REPO_ROOT, ["src/repro"]):
+            modules[rel] = ModuleSource(
+                path, rel, path.read_text(encoding="utf-8"))
+        cg = Project(modules).call_graph()
+        hot_dotted = {f.dotted for f in cg.hot_functions()}
+        registered = {k for k in hot_registry() if k.startswith("repro.")}
+        assert registered, "no @hot_path functions registered at import"
+        missing = registered - hot_dotted
+        assert not missing, "registry/analyzer disagree on: %s" % sorted(missing)
+
+
+class TestSarifAndCli:
+    def test_main_perf_fixture_sarif(self, capsys):
+        rc = lint.main([FIX_DIR, "--perf", "--all-rules",
+                        "--format", "sarif", "--root", str(REPO_ROOT)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        got = set()
+        for result in doc["runs"][0]["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            got.add((result["ruleId"], loc["artifactLocation"]["uri"],
+                     loc["region"]["startLine"]))
+        assert got == planted_expectations()
+        # the embedded catalogue describes every perf rule that fired
+        described = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert set(PERF_RULE_IDS) <= described
+
+    def test_main_perf_clean_exit_zero(self, capsys):
+        assert lint.main(["--perf", "--root", str(REPO_ROOT)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_list_rules_includes_perf_pass(self, capsys):
+        assert lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "[perf;" in out
+        for rule_id in PERF_RULE_IDS:
+            assert rule_id in out
+
+    def test_repro_cli_perf_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        rc = repro_main(["lint", "--perf", "--format", "sarif",
+                         "--root", str(REPO_ROOT)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["version"] == "2.1.0"

@@ -4,15 +4,21 @@ Run it as ``python -m tools.bench`` from the repo root (with
 ``PYTHONPATH=src``), or via the ``repro bench`` CLI subcommand.  It
 measures the four hot-path families (events, gf, wire, tunnel) with
 deterministic seeded workloads, warmup, and median-of-trials reporting,
-and emits a schema-versioned JSON artifact (``BENCH_PR4.json`` at the
-repo root is the committed trajectory point for this PR).
+and emits a schema-versioned JSON artifact (``BENCH_PR8.json`` at the
+repo root is the current committed trajectory point; the v1-era
+``BENCH_PR4.json`` stays readable as a baseline).
 
 Regression gating::
 
     repro bench --compare old.json --max-regression 10
 
 runs the suite and exits non-zero if any benchmark's throughput dropped
-more than 10 % versus ``old.json``.  ``--input FILE`` substitutes an
+more than 10 % versus ``old.json`` **or** its ``allocs_per_op``
+allocation budget grew beyond ``--max-alloc-regression`` (plus a
+half-block absolute slack).  ``--no-time-gate`` keeps only the
+allocation gate — for CI smoke runs compared against a committed
+full-mode artifact, where wall-clock numbers aren't comparable but
+per-unit allocation budgets are.  ``--input FILE`` substitutes an
 existing results file for the fresh run (offline comparison), and
 ``--validate FILE`` only schema-checks an artifact.  See
 ``docs/performance.md`` for the full recipe.
@@ -71,16 +77,17 @@ def run_suite(workload: Workload, targets: Optional[List[str]] = None,
             echo("  %-24s running..." % bench.name)
         result = run_benchmark(bench, workload)
         if echo:
-            echo("  %-24s %12.4g %-10s (±%.1f%%, %d trials)"
+            echo("  %-24s %12.4g %-10s (±%.1f%%, %d trials, %.3g allocs/op)"
                  % (result.name, result.value, result.unit,
                     100.0 * (result.stddev / result.value if result.value else 0.0),
-                    len(result.trials)))
+                    len(result.trials),
+                    result.allocs_per_op if result.allocs_per_op is not None else 0.0))
         results.append(result)
     return results
 
 
 def build_document(results: List[BenchResult], mode: str) -> dict:
-    """Assemble the schema-version-1 artifact for a set of results."""
+    """Assemble the current-schema-version artifact for a set of results."""
     return {
         "schema_version": SCHEMA_VERSION,
         "meta": {
@@ -129,6 +136,15 @@ def main(argv=None) -> int:
                         metavar="PCT",
                         help="allowed per-benchmark slowdown in percent "
                              "(default 10)")
+    parser.add_argument("--max-alloc-regression", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed allocs_per_op growth in percent, "
+                             "plus a 0.5 block/op absolute slack "
+                             "(default 10)")
+    parser.add_argument("--no-time-gate", action="store_true",
+                        help="with --compare, gate only on allocs_per_op "
+                             "(smoke-vs-full comparisons where wall-clock "
+                             "isn't comparable)")
     parser.add_argument("--input", metavar="FILE",
                         help="use an existing results JSON instead of "
                              "running benchmarks (offline compare/merge)")
@@ -151,8 +167,9 @@ def main(argv=None) -> int:
             for p in problems:
                 print("schema: %s" % p, file=sys.stderr)
             return 1
-        print("%s: valid (schema_version %d, %d benchmarks)"
-              % (args.validate, SCHEMA_VERSION, len(doc["benchmarks"])))
+        print("%s: valid (schema_version %s, %d benchmarks)"
+              % (args.validate, doc.get("schema_version"),
+                 len(doc["benchmarks"])))
         return 0
 
     if args.input:
@@ -183,7 +200,10 @@ def main(argv=None) -> int:
     if args.compare:
         with open(args.compare) as f:
             old_doc = json.load(f)
-        regressions, notes = compare_documents(old_doc, doc, args.max_regression)
+        regressions, notes = compare_documents(
+            old_doc, doc, args.max_regression,
+            max_alloc_regression_pct=args.max_alloc_regression,
+            time_gate=not args.no_time_gate)
         for note in notes:
             print("compare: %s" % note)
         for reg in regressions:

@@ -13,12 +13,24 @@ harness removes the two classic sources of flakiness:
 A benchmark callable receives a :class:`Workload` scale ("smoke" or
 "full") and returns ``(units_done, unit)`` — e.g. ``(1_000_000, "bytes")``
 — while the harness times it.  Throughput = units_done / elapsed.
+
+Schema v2 adds one allocation metric per benchmark: ``allocs_per_op``,
+the *net* live-block growth across one complete workload invocation,
+normalised per unit.  It is measured on a dedicated **untimed** rep after
+warmup — ``sys.getallocatedblocks()`` before/after with the cyclic GC
+parked — so the timed trials stay undisturbed (no tracemalloc, no GC
+pauses injected into the measurement window).  Net growth is a retention
+gauge: transient per-iteration churn that the allocator reclaims
+immediately is the static analyzer's job (``repro lint --perf``); what
+the bench gates is memory the workload *keeps* per unit of work.
 """
 
 from __future__ import annotations
 
+import gc
 import math
 import statistics
+import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
@@ -28,6 +40,7 @@ __all__ = [
     "TrialStats",
     "BenchResult",
     "Benchmark",
+    "measure_allocs_per_op",
     "run_benchmark",
 ]
 
@@ -89,6 +102,8 @@ class BenchResult:
     value: float
     stddev: float
     trials: List[float]
+    #: Net retained allocator blocks per unit of work (schema v2).
+    allocs_per_op: Optional[float] = None
     #: Pre-optimization value merged in via ``--baseline`` (None until then).
     baseline_value: Optional[float] = None
     baseline_stddev: Optional[float] = None
@@ -108,6 +123,8 @@ class BenchResult:
             "stddev": self.stddev,
             "trials": list(self.trials),
         }
+        if self.allocs_per_op is not None:
+            d["allocs_per_op"] = self.allocs_per_op
         if self.baseline_value is not None:
             d["baseline"] = {
                 "value": self.baseline_value,
@@ -136,12 +153,40 @@ class Benchmark:
     warmup: int = DEFAULT_WARMUP
 
 
+def measure_allocs_per_op(body: Callable[[Workload], float],
+                          workload: Workload) -> float:
+    """Net live-block growth of one workload invocation, per unit.
+
+    Runs the body once *untimed* with the cyclic GC disabled (so cycle
+    collection doesn't race the block count) after a full collection (so
+    pre-existing garbage isn't charged to the body).  The result is
+    clamped at zero: a body that *frees* more than it retains (e.g. by
+    shrinking an interned-object cache) reports 0, not a negative budget.
+    """
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        before = sys.getallocatedblocks()
+        units = body(workload)
+        after = sys.getallocatedblocks()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if not units or units <= 0:
+        return 0.0
+    return max(0, after - before) / units
+
+
 def run_benchmark(bench: Benchmark, workload: Workload) -> BenchResult:
     """Run warmup + measured trials; return the median-throughput result."""
     warmup = 1 if workload.smoke else bench.warmup
     trials = 2 if workload.smoke else bench.trials
     for _ in range(warmup):
         bench.body(workload)
+    # allocation rep: after warmup (module/class caches are primed) and
+    # before the timed trials so it can never perturb the clock readings
+    allocs_per_op = measure_allocs_per_op(bench.body, workload)
     throughputs: List[float] = []
     for _ in range(trials):
         t0 = time.perf_counter()
@@ -158,4 +203,5 @@ def run_benchmark(bench: Benchmark, workload: Workload) -> BenchResult:
         value=stats.median,
         stddev=stats.stddev,
         trials=throughputs,
+        allocs_per_op=allocs_per_op,
     )

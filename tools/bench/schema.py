@@ -1,10 +1,10 @@
 """BENCH_*.json document schema, validation, and regression comparison.
 
 The artifact is schema-versioned so the trajectory stays machine-readable
-across PRs.  Version 1 layout::
+across PRs.  Version 2 layout::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "meta": {
         "tool": "repro bench",
         "mode": "full" | "smoke",
@@ -21,14 +21,26 @@ across PRs.  Version 1 layout::
           "value": 12.3,              # median trial throughput
           "stddev": 0.4,
           "trials": [12.1, 12.3, 12.5],
+          "allocs_per_op": 0.08,      # v2: net retained blocks per unit
           "baseline": {"value": 7.9, "stddev": 0.3},   # optional: pre-opt
           "speedup": 1.56                              # optional, with baseline
         }, ...
       ]
     }
 
-All units are throughputs — bigger is better — so regression checking is
-uniform: ``(old - new) / old * 100 > max_regression_pct`` fails.
+Version 1 documents (no ``allocs_per_op``; ``BENCH_PR4.json`` is one)
+remain valid inputs everywhere a document is read — ``--input``,
+``--baseline``, ``--compare``, ``--validate`` — so old trajectory points
+never have to be regenerated.  Only *newly written* artifacts carry the
+current version.
+
+Throughput units — bigger is better — gate as
+``(old - new) / old * 100 > max_regression_pct``.  Allocation budgets —
+smaller is better — gate as ``new > old + max(old * pct / 100, 0.5)``;
+the half-block absolute slack keeps near-zero budgets from tripping on
+one stray interned object.  A benchmark pair where either side lacks
+``allocs_per_op`` (a v1 artifact) is reported as *not gated* rather than
+failed: schema migration must not manufacture regressions.
 
 Validation is hand-rolled (no jsonschema dependency in the image); it
 returns a list of human-readable problems, empty when the document
@@ -41,13 +53,19 @@ from typing import Dict, List, Tuple
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ACCEPTED_VERSIONS",
+    "ALLOC_ABS_SLACK",
     "REQUIRED_FAMILIES",
     "validate_document",
     "compare_documents",
     "merge_baseline",
 ]
 
-SCHEMA_VERSION = 1
+#: Version stamped on newly built documents.
+SCHEMA_VERSION = 2
+
+#: Versions accepted when *reading* a document (v1 = pre-allocation era).
+ACCEPTED_VERSIONS = (1, 2)
 
 #: The four hot-path families every trajectory point must cover.
 REQUIRED_FAMILIES = ("events", "gf", "tunnel", "wire")
@@ -61,14 +79,20 @@ def _is_num(x) -> bool:
 
 
 def validate_document(doc, require_families: bool = True) -> List[str]:
-    """Check ``doc`` against schema version 1; returns problems found."""
+    """Check ``doc`` against the schema; returns problems found.
+
+    Accepts every version in :data:`ACCEPTED_VERSIONS`.  Version 2 adds a
+    required numeric ``allocs_per_op`` per benchmark; version 1 documents
+    are checked against the version-1 shape (no allocation field).
+    """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return ["document must be a JSON object"]
-    if doc.get("schema_version") != SCHEMA_VERSION:
+    version = doc.get("schema_version")
+    if version not in ACCEPTED_VERSIONS:
         problems.append(
-            "schema_version must be %d (got %r)"
-            % (SCHEMA_VERSION, doc.get("schema_version"))
+            "schema_version must be one of %s (got %r)"
+            % (list(ACCEPTED_VERSIONS), version)
         )
     meta = doc.get("meta")
     if not isinstance(meta, dict):
@@ -102,6 +126,17 @@ def validate_document(doc, require_families: bool = True) -> List[str]:
                 problems.append("%s.%s must be a number" % (where, key))
         if "value" in b and _is_num(b["value"]) and b["value"] <= 0:
             problems.append("%s.value must be positive" % where)
+        if version == 2:
+            allocs = b.get("allocs_per_op")
+            if allocs is None:
+                problems.append("%s missing key 'allocs_per_op' "
+                                "(required at schema_version 2)" % where)
+            elif not _is_num(allocs) or allocs < 0:
+                problems.append(
+                    "%s.allocs_per_op must be a non-negative number" % where)
+        elif "allocs_per_op" in b:
+            problems.append(
+                "%s.allocs_per_op requires schema_version 2" % where)
         trials = b.get("trials")
         if trials is not None and (
             not isinstance(trials, list) or not all(_is_num(t) for t in trials)
@@ -119,15 +154,31 @@ def validate_document(doc, require_families: bool = True) -> List[str]:
     return problems
 
 
+#: Absolute slack in the allocation gate: budgets within half a block per
+#: op of the old value never trip, whatever the percentage says.
+ALLOC_ABS_SLACK = 0.5
+
+
 def compare_documents(
-    old: dict, new: dict, max_regression_pct: float
+    old: dict, new: dict, max_regression_pct: float,
+    max_alloc_regression_pct: float = 10.0,
+    time_gate: bool = True,
 ) -> Tuple[List[str], List[str]]:
     """Compare two documents benchmark-by-benchmark.
 
     Returns ``(regressions, notes)``: ``regressions`` lists benchmarks
     whose throughput dropped more than ``max_regression_pct`` percent
-    versus ``old`` (non-empty means the gate fails); ``notes`` describes
-    everything else (improvements, new/missing benchmarks).
+    versus ``old``, or whose ``allocs_per_op`` grew beyond
+    ``max_alloc_regression_pct`` plus the half-block absolute slack
+    (non-empty means the gate fails); ``notes`` describes everything
+    else (improvements, new/missing benchmarks, ungated pairs).
+
+    ``time_gate=False`` demotes throughput regressions to notes — for CI
+    smoke runs compared against a committed full-mode artifact, where the
+    workloads differ so wall-clock deltas are meaningless but allocation
+    budgets (normalised per unit) still compare.  Benchmark pairs where
+    either side lacks ``allocs_per_op`` (v1 artifacts) are noted as
+    *not gated* rather than failed.
     """
     old_by_name: Dict[str, dict] = {
         b["name"]: b for b in old.get("benchmarks", []) if isinstance(b, dict)
@@ -145,7 +196,7 @@ def compare_documents(
             notes.append("%s: old value is zero; skipped" % name)
             continue
         delta_pct = (old_v - new_v) / old_v * 100.0
-        if delta_pct > max_regression_pct:
+        if delta_pct > max_regression_pct and time_gate:
             regressions.append(
                 "%s: %.4g -> %.4g %s (-%.1f%% > %.1f%% budget)"
                 % (name, old_v, new_v, b.get("unit", ""), delta_pct,
@@ -153,8 +204,32 @@ def compare_documents(
             )
         else:
             notes.append(
-                "%s: %.4g -> %.4g %s (%+.1f%%)"
-                % (name, old_v, new_v, b.get("unit", ""), -delta_pct)
+                "%s: %.4g -> %.4g %s (%+.1f%%)%s"
+                % (name, old_v, new_v, b.get("unit", ""), -delta_pct,
+                   " [time not gated]" if not time_gate else "")
+            )
+        old_a, new_a = prev.get("allocs_per_op"), b.get("allocs_per_op")
+        if not (_is_num(old_a) and _is_num(new_a)):
+            notes.append(
+                "%s: allocs_per_op not gated (missing on %s side; v1 artifact?)"
+                % (name,
+                   "both" if not (_is_num(old_a) or _is_num(new_a))
+                   else ("old" if not _is_num(old_a) else "new"))
+            )
+            continue
+        budget = old_a + max(old_a * max_alloc_regression_pct / 100.0,
+                             ALLOC_ABS_SLACK)
+        if new_a > budget:
+            regressions.append(
+                "%s: allocs_per_op %.3g -> %.3g (> budget %.3g: "
+                "+%.1f%% with %.2g abs slack)"
+                % (name, old_a, new_a, budget, max_alloc_regression_pct,
+                   ALLOC_ABS_SLACK)
+            )
+        else:
+            notes.append(
+                "%s: allocs_per_op %.3g -> %.3g (within budget %.3g)"
+                % (name, old_a, new_a, budget)
             )
     for name in sorted(old_by_name):
         notes.append("%s: present in old run only" % name)

@@ -11,6 +11,10 @@
 #   1c. `repro lint --shard-safety` — the fleet-sharding pass (mutable
 #      globals, event-loop ownership, RNG provenance, spawn safety)
 #      emitting its own SARIF artifact under the same 10 s budget;
+#   1d. `repro lint --perf` — the hot-path pass (call-graph hotness
+#      propagation: alloc-in-hot-loop, slow idioms, hidden quadratics,
+#      unguarded observability calls) emitting its own SARIF artifact
+#      under the same 10 s budget;
 #   2. the linter/sanitizer self-tests plus the protocol-heavy slice of
 #      the suite re-run with REPRO_SANITIZE=1, so every transmit, range
 #      build, recovery plan, decode, and state transition in those runs
@@ -21,7 +25,10 @@
 #   4. the benchmark harness smoke run: `repro bench --smoke` (tiny
 #      deterministic workloads, 60 s budget) plus schema validation of
 #      the emitted artifact and of the committed BENCH_*.json trajectory
-#      points;
+#      points, and the allocation gate: the smoke run's allocs_per_op
+#      compared against the committed full-mode artifact with
+#      --no-time-gate (wall-clock isn't comparable across modes, but
+#      per-unit retention budgets are);
 #   5. the chaos-soak smoke: one seeded random fault plan against the
 #      full sanitized tunnel (tools/chaos_soak.py, 30 s budget) asserting
 #      delivery, drained fault state, and a byte-identical rerun digest;
@@ -77,9 +84,26 @@ if [ "$elapsed_ms" -ge 10000 ]; then
     exit 1
 fi
 
+echo "== stage 1d: repro lint --perf (SARIF, 10 s budget) ================="
+PERF_SARIF_OUT="${PERF_SARIF_OUT:-lint-perf.sarif}"
+t0=$(date +%s%N)
+if ! python -m tools.lint --perf --format sarif > "$PERF_SARIF_OUT"; then
+    echo "perf lint found violations:" >&2
+    python -m tools.lint --perf >&2 || true
+    exit 1
+fi
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "perf pass clean in ${elapsed_ms} ms -> ${PERF_SARIF_OUT}"
+if [ "$elapsed_ms" -ge 10000 ]; then
+    echo "perf lint blew its 10 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+
 echo "== stage 2a: linter + sanitizer self-tests =========================="
 python -m pytest tests/test_lint.py tests/test_deep_lint.py \
-    tests/test_shard_lint.py tests/test_incremental_lint.py \
+    tests/test_shard_lint.py tests/test_perf_lint.py \
+    tests/test_incremental_lint.py \
     tests/test_sanitizer.py tests/test_stateguard.py -q
 
 echo "== stage 2b: integration slice with REPRO_SANITIZE=1 ================"
@@ -120,6 +144,16 @@ for artifact in BENCH_*.json; do
     [ -e "$artifact" ] || continue
     python -m tools.bench --validate "$artifact"
 done
+if [ -e BENCH_PR8.json ]; then
+    # Allocation gate: smoke retention vs the committed full-mode run.
+    # Wall-clock is not comparable across modes (--no-time-gate), and
+    # smoke's per-run fixed retention amortizes over ~10x smaller
+    # workloads, so allocs_per_op sits up to ~10x above full mode.  The
+    # 1200 % budget clears that mode ratio with margin while genuine
+    # retention leaks -- which show up as 100x-5000x jumps -- still trip.
+    python -m tools.bench --input "$SMOKE_OUT" --compare BENCH_PR8.json \
+        --no-time-gate --max-alloc-regression 1200
+fi
 
 echo "== stage 5: chaos-soak smoke (seeded, 30 s budget) =================="
 t0=$(date +%s%N)

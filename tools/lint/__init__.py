@@ -5,19 +5,23 @@ Run it as ``python -m tools.lint`` from the repo root, or via the
 (import graph, units-of-measure dataflow, paper-constants registry);
 ``--shard-safety`` adds the shard-safety pass (mutable-global,
 loop-ownership, RNG-provenance and spawn-safety analyses) proving the
-tree safe to replicate across worker processes; ``--changed`` reuses the
-violation cache to re-analyze only modified modules plus their
-dependents.  See ``docs/static-analysis.md`` for the rule catalogue and
-extension guide.
+tree safe to replicate across worker processes; ``--perf`` adds the
+hot-path performance pass (call-graph hotness propagation,
+alloc-in-hot-loop, slow-idiom, hidden-quadratic, unguarded-hot-call);
+``--changed`` reuses the violation cache to re-analyze only modified
+modules plus their dependents.  See ``docs/static-analysis.md`` for the
+rule catalogue and extension guide.
 """
 
 from .engine import (
     DeepRule,
     ModuleSource,
+    PerfRule,
     Rule,
     ShardRule,
     Violation,
     all_deep_rules,
+    all_perf_rules,
     all_rules,
     all_shard_rules,
     format_human,
@@ -30,6 +34,7 @@ from .engine import (
 from . import rules as _rules  # noqa: F401 -- importing registers the rule set
 from . import xrules as _xrules  # noqa: F401 -- deep rules register here
 from . import shard as _shard  # noqa: F401 -- shard-safety rules register here
+from . import perf as _perf  # noqa: F401 -- hot-path perf rules register here
 
 #: Default lint targets, relative to the repo root.
 DEFAULT_TARGETS = ("src/repro", "tools", "tests", "benchmarks", "examples")
@@ -37,10 +42,12 @@ DEFAULT_TARGETS = ("src/repro", "tools", "tests", "benchmarks", "examples")
 __all__ = [
     "DeepRule",
     "ModuleSource",
+    "PerfRule",
     "Rule",
     "ShardRule",
     "Violation",
     "all_deep_rules",
+    "all_perf_rules",
     "all_rules",
     "all_shard_rules",
     "format_human",
@@ -71,6 +78,10 @@ def main(argv=None, root=None) -> int:
     parser.add_argument("--shard-safety", action="store_true", dest="shard",
                         help="add the shard-safety pass: mutable-global, "
                              "loop-ownership, RNG-provenance, spawn-safety")
+    parser.add_argument("--perf", action="store_true",
+                        help="add the hot-path performance pass: call-graph "
+                             "hotness propagation, alloc-in-hot-loop, "
+                             "slow-idiom, hidden-quadratic, unguarded-hot-call")
     parser.add_argument("--changed", action="store_true",
                         help="incremental mode: re-analyze only modified "
                              "modules plus their dependents, splicing cached "
@@ -103,6 +114,9 @@ def main(argv=None, root=None) -> int:
         for rule in all_shard_rules():
             scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
             print("%-20s [shard; %s] %s" % (rule.id, scope, rule.description))
+        for rule in all_perf_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
+            print("%-20s [perf; %s] %s" % (rule.id, scope, rule.description))
         return 0
 
     fmt = args.fmt or ("json" if args.as_json else "human")
@@ -118,7 +132,7 @@ def main(argv=None, root=None) -> int:
         violations, stats = lint_paths_incremental(
             base, targets, rule_ids=args.rule_ids,
             all_rules_everywhere=args.all_rules,
-            deep=args.deep, shard=args.shard,
+            deep=args.deep, shard=args.shard, perf=args.perf,
             cache_path=Path(args.cache) if args.cache else None)
         if fmt == "human":
             print("changed: %d file(s), re-analyzed %d of %d (%s)"
@@ -127,7 +141,8 @@ def main(argv=None, root=None) -> int:
     else:
         violations = lint_paths(base, targets, rule_ids=args.rule_ids,
                                 all_rules_everywhere=args.all_rules,
-                                deep=args.deep, shard=args.shard)
+                                deep=args.deep, shard=args.shard,
+                                perf=args.perf)
     if fmt == "json":
         print(format_json(violations))
     elif fmt == "sarif":

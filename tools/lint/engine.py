@@ -1,6 +1,6 @@
 """Zero-dependency AST lint engine with repo-native rules.
 
-The engine hosts **three pass levels** over one parse of the tree:
+The engine hosts **four pass levels** over one parse of the tree:
 
 * the **per-file pass** (``repro lint``) — each :class:`Rule` sees one
   :class:`ModuleSource` at a time;
@@ -12,13 +12,19 @@ The engine hosts **three pass levels** over one parse of the tree:
   :class:`ShardRule` proves the tree safe to replicate across worker
   processes and event loops (mutable-global, loop-ownership,
   RNG-provenance and spawn-safety analyses; see
-  :mod:`tools.lint.shard`).
+  :mod:`tools.lint.shard`);
+* the **perf pass** (``repro lint --perf``) — each :class:`PerfRule`
+  analyzes the functions reachable from a packet-rate loop (the static
+  call graph seeded from the bench suites and the ``@hot_path``
+  registry) for allocation churn and slow idioms; see
+  :mod:`tools.lint.perf`.
 
 A new rule costs ~20 lines at any level:
 
 1. subclass :class:`Rule` (implement ``check(module)``),
-   :class:`DeepRule` or :class:`ShardRule` (implement
-   ``check_project(project)``), yielding :class:`Violation` objects;
+   :class:`DeepRule`, :class:`ShardRule` or :class:`PerfRule`
+   (implement ``check_project(project)``), yielding :class:`Violation`
+   objects;
 2. decorate it with :func:`register` — the registry sorts the rule into
    the right pass automatically.
 
@@ -61,10 +67,12 @@ __all__ = [
     "Rule",
     "DeepRule",
     "ShardRule",
+    "PerfRule",
     "register",
     "all_rules",
     "all_deep_rules",
     "all_shard_rules",
+    "all_perf_rules",
     "iter_py_files",
     "lint_paths",
     "format_human",
@@ -200,18 +208,33 @@ class ShardRule(DeepRule):
     """
 
 
+class PerfRule(DeepRule):
+    """A hot-path performance rule: whole-program, its own pass level.
+
+    Perf rules see the same :class:`~tools.lint.graph.Project` the deep
+    pass builds, plus its lazily-constructed static call graph and hot
+    set (:meth:`~tools.lint.graph.Project.call_graph`).  They run only
+    under ``repro lint --perf`` so the hot-path cost gate is independent
+    of the correctness gates.
+    """
+
+
 _REGISTRY: Dict[str, Rule] = {}
 _DEEP_REGISTRY: Dict[str, DeepRule] = {}
 _SHARD_REGISTRY: Dict[str, "ShardRule"] = {}
+_PERF_REGISTRY: Dict[str, "PerfRule"] = {}
 
 
 def register(cls):
-    """Class decorator adding a rule to the per-file, deep, or shard registry."""
+    """Class decorator adding a rule to the per-file, deep, shard, or perf registry."""
     if not cls.id:
         raise ValueError("rule %r needs a non-empty id" % cls)
-    if cls.id in _REGISTRY or cls.id in _DEEP_REGISTRY or cls.id in _SHARD_REGISTRY:
+    if (cls.id in _REGISTRY or cls.id in _DEEP_REGISTRY
+            or cls.id in _SHARD_REGISTRY or cls.id in _PERF_REGISTRY):
         raise ValueError("duplicate rule id %r" % cls.id)
-    if issubclass(cls, ShardRule):
+    if issubclass(cls, PerfRule):
+        _PERF_REGISTRY[cls.id] = cls()
+    elif issubclass(cls, ShardRule):
         _SHARD_REGISTRY[cls.id] = cls()
     elif issubclass(cls, DeepRule):
         _DEEP_REGISTRY[cls.id] = cls()
@@ -233,6 +256,11 @@ def all_deep_rules() -> List[DeepRule]:
 def all_shard_rules() -> List["ShardRule"]:
     """The shard-safety rule set (``repro lint --shard-safety``)."""
     return [_SHARD_REGISTRY[k] for k in sorted(_SHARD_REGISTRY)]
+
+
+def all_perf_rules() -> List["PerfRule"]:
+    """The hot-path performance rule set (``repro lint --perf``)."""
+    return [_PERF_REGISTRY[k] for k in sorted(_PERF_REGISTRY)]
 
 
 #: Directories never descended into.
@@ -267,6 +295,7 @@ def lint_paths(
     all_rules_everywhere: bool = False,
     deep: bool = False,
     shard: bool = False,
+    perf: bool = False,
     restrict: Optional[set] = None,
 ) -> List[Violation]:
     """Lint every file under ``targets`` (relative to ``root``).
@@ -275,9 +304,10 @@ def lint_paths(
     drops path scoping (fixture testing); ``deep`` additionally builds
     the whole-program :class:`~tools.lint.graph.Project` over the same
     parse and runs the cross-module rules; ``shard`` runs the
-    shard-safety rules over the same Project.  Suppressed violations are
-    removed; pragmas lacking a justification are reported as
-    ``bare-suppression`` hits.
+    shard-safety rules over the same Project; ``perf`` runs the hot-path
+    performance rules over the same Project plus its call graph.
+    Suppressed violations are removed; pragmas lacking a justification
+    are reported as ``bare-suppression`` hits.
 
     ``restrict``, when given, limits *reporting and per-module analysis*
     to that set of repo-relative paths: per-file rules skip other files,
@@ -291,9 +321,11 @@ def lint_paths(
     rules = all_rules()
     deep_rules = all_deep_rules() if deep else []
     shard_rules = all_shard_rules() if shard else []
+    perf_rules = all_perf_rules() if perf else []
     if rule_ids:
         known = ({r.id for r in all_rules()} | {r.id for r in all_deep_rules()}
-                 | {r.id for r in all_shard_rules()})
+                 | {r.id for r in all_shard_rules()}
+                 | {r.id for r in all_perf_rules()})
         unknown = set(rule_ids) - known
         if unknown:
             raise ValueError("unknown rule ids: %s" % ", ".join(sorted(unknown)))
@@ -305,9 +337,14 @@ def lint_paths(
         if shard_only and not shard:
             raise ValueError("shard-only rule ids need --shard-safety: %s"
                              % ", ".join(sorted(shard_only)))
+        perf_only = set(rule_ids) & {r.id for r in all_perf_rules()}
+        if perf_only and not perf:
+            raise ValueError("perf-only rule ids need --perf: %s"
+                             % ", ".join(sorted(perf_only)))
         rules = [r for r in rules if r.id in set(rule_ids)]
         deep_rules = [r for r in deep_rules if r.id in set(rule_ids)]
         shard_rules = [r for r in shard_rules if r.id in set(rule_ids)]
+        perf_rules = [r for r in perf_rules if r.id in set(rule_ids)]
     violations: List[Violation] = []
     modules: Dict[str, ModuleSource] = {}
     for path, rel in iter_py_files(Path(root), targets):
@@ -333,7 +370,8 @@ def lint_paths(
             for v in rule.check(module):
                 if not module.suppressed(v.rule, v.line):
                     violations.append(v)
-    cross_rules: List[DeepRule] = list(deep_rules) + list(shard_rules)
+    cross_rules: List[DeepRule] = (list(deep_rules) + list(shard_rules)
+                                   + list(perf_rules))
     if cross_rules and modules:
         from .graph import Project
 
@@ -371,7 +409,8 @@ def format_sarif(violations: Sequence[Violation]) -> str:
     The rule catalogue (all three pass levels) is embedded as the tool's
     ``rules`` array so CI annotation surfaces can show descriptions.
     """
-    catalogue = {r.id: r for r in all_rules() + all_deep_rules() + all_shard_rules()}
+    catalogue = {r.id: r for r in (all_rules() + all_deep_rules()
+                                   + all_shard_rules() + all_perf_rules())}
     used = sorted({v.rule for v in violations})
     rules_meta = []
     for rule_id in used:

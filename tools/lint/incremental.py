@@ -28,7 +28,17 @@ every rule in the tree:
 * ``import-cycle`` members are mutual transitive importers, so a cycle
   touched by a change lies entirely inside the closure;
 * the shard rules (:mod:`tools.lint.shard`) read at most one import hop
-  (cross-module global writes through a module alias), also covered.
+  (cross-module global writes through a module alias), also covered;
+* the perf rules (:mod:`tools.lint.perf`) are call-graph-aware, but
+  every resolvable call edge is carried by an import: a caller reaches a
+  callee in another module only through a from-import, module alias, or
+  imported class — so when a callee changes, its transitive *hot
+  callers* are transitive importers and re-analyze, and when a caller
+  (or a hotness seed such as the bench suites or an ``@hot_path``
+  module) changes, everything it can newly make hot is in its transitive
+  imports.  Hotness itself is always computed over the **whole** project
+  (the restrict set limits reporting, never the call graph), so spliced
+  verdicts for untouched files remain exact.
 
 It is deliberately *not* the full undirected closure — in a connected
 package that would degenerate to the whole tree every time.
@@ -85,13 +95,14 @@ def _rules_fingerprint() -> str:
 
 
 def _config_key(targets: Sequence[str], rule_ids, all_rules_everywhere: bool,
-                deep: bool, shard: bool) -> str:
+                deep: bool, shard: bool, perf: bool) -> str:
     return json.dumps({
         "targets": sorted(targets),
         "rule_ids": sorted(rule_ids) if rule_ids else None,
         "all_rules": bool(all_rules_everywhere),
         "deep": bool(deep),
         "shard": bool(shard),
+        "perf": bool(perf),
         "rules": _rules_fingerprint(),
     }, sort_keys=True)
 
@@ -204,6 +215,7 @@ def lint_paths_incremental(
     all_rules_everywhere: bool = False,
     deep: bool = False,
     shard: bool = False,
+    perf: bool = False,
     cache_path: Optional[Path] = None,
 ) -> Tuple[List[Violation], dict]:
     """Incremental :func:`~tools.lint.engine.lint_paths`.
@@ -216,7 +228,8 @@ def lint_paths_incremental(
     """
     root = Path(root)
     cache_file = Path(cache_path) if cache_path else default_cache_path(root)
-    key = _config_key(targets, rule_ids, all_rules_everywhere, deep, shard)
+    key = _config_key(targets, rule_ids, all_rules_everywhere, deep, shard,
+                      perf)
 
     files = list(iter_py_files(root, targets))
     digests = {rel: _digest(path) for path, rel in files}
@@ -234,7 +247,7 @@ def lint_paths_incremental(
     def full_run() -> Tuple[List[Violation], dict]:
         violations = lint_paths(root, targets, rule_ids=rule_ids,
                                 all_rules_everywhere=all_rules_everywhere,
-                                deep=deep, shard=shard)
+                                deep=deep, shard=shard, perf=perf)
         entries: Dict[str, dict] = {}
         by_path: Dict[str, list] = {}
         for v in violations:
@@ -308,7 +321,7 @@ def lint_paths_incremental(
 
     fresh = lint_paths(root, targets, rule_ids=rule_ids,
                        all_rules_everywhere=all_rules_everywhere,
-                       deep=deep, shard=shard, restrict=affected)
+                       deep=deep, shard=shard, perf=perf, restrict=affected)
     fresh_by_path: Dict[str, list] = {rel: [] for rel in affected}
     for v in fresh:
         fresh_by_path.setdefault(v.path, []).append(
