@@ -24,10 +24,14 @@ __all__ = [
     "format_qoe_rows",
     "format_percentiles",
     "render_cdf_svg",
+    "render_hist_cdf_svg",
+    "render_series_svg",
     "render_timeline_svg",
     "render_waterfall_svg",
     "render_html_report",
     "write_html_report",
+    "render_fleet_html_report",
+    "write_fleet_html_report",
 ]
 
 #: Stage palette (lifecycle order, matches repro.obs.aggregate.STAGES).
@@ -170,6 +174,126 @@ def render_cdf_svg(
                      'stroke-width="2"/>' % (pad_l + 8, _fmt(ly - 4),
                                              pad_l + 28, _fmt(ly - 4), color))
         parts.append(_axis_label(pad_l + 32, ly, name, "start"))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_hist_cdf_svg(
+    hists: Dict[str, "object"],
+    width: int = 460,
+    height: int = 240,
+    x_label: str = "delay (s)",
+) -> str:
+    """CDFs straight from bucketed histograms (no sample expansion).
+
+    Fleet-scale aggregates carry millions of observations as sparse
+    bucket tables; this renders their CDFs from
+    :meth:`~repro.obs.metrics.Histogram.iter_cdf` points directly, so
+    the chart cost is O(buckets), not O(samples).  Layout matches
+    :func:`render_cdf_svg`.
+    """
+    pad_l, pad_r, pad_t, pad_b = 46, 12, 10, 32
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    named = [(name, list(h.iter_cdf())) for name, h in hists.items()
+             if h is not None and h.count]
+    parts = [_svg_open(width, height)]
+    parts.append('<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" '
+                 'stroke="#ccc"/>' % (pad_l, pad_t, plot_w, plot_h))
+    if not named:
+        parts.append(_axis_label(width / 2, height / 2, "(no samples)"))
+        parts.append("</svg>")
+        return "".join(parts)
+    # clip the extreme tail like render_cdf_svg: x axis to the global ~p99.9
+    x_max = 0.0
+    for _, pts in named:
+        for v, frac in pts:
+            if frac <= 0.999:
+                x_max = max(x_max, v)
+    if x_max <= 0:
+        x_max = max(v for _, pts in named for v, _ in pts) or 1.0
+
+    def sx(v: float) -> float:
+        return pad_l + min(1.0, v / x_max) * plot_w
+
+    def sy(p: float) -> float:
+        return pad_t + (1.0 - p) * plot_h
+
+    for frac in (0.0, 0.5, 0.95, 0.99, 1.0):
+        y = sy(frac)
+        parts.append('<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#ddd"/>'
+                     % (pad_l, _fmt(y), pad_l + plot_w, _fmt(y)))
+        parts.append(_axis_label(pad_l - 4, y + 4, "%.2f" % frac, "end"))
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = pad_l + frac * plot_w
+        parts.append(_axis_label(x, height - pad_b + 14, _fmt(frac * x_max)))
+    parts.append(_axis_label(pad_l + plot_w / 2, height - 4, x_label))
+    for i, (name, pts) in enumerate(named):
+        color = PATH_COLORS[i % len(PATH_COLORS)]
+        poly = ["%s,%s" % (_fmt(sx(0.0)), _fmt(sy(0.0)))]
+        poly.extend("%s,%s" % (_fmt(sx(v)), _fmt(sy(frac)))
+                    for v, frac in pts)
+        parts.append('<polyline points="%s" fill="none" stroke="%s" '
+                     'stroke-width="1.5"/>' % (" ".join(poly), color))
+        ly = pad_t + 14 + 14 * i
+        parts.append('<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s" '
+                     'stroke-width="2"/>' % (pad_l + 8, _fmt(ly - 4),
+                                             pad_l + 28, _fmt(ly - 4), color))
+        parts.append(_axis_label(pad_l + 32, ly, name, "start"))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_series_svg(
+    points: Sequence[Tuple[float, float]],
+    width: int = 680,
+    height: int = 180,
+    y_label: str = "",
+    x_label: str = "control time (s)",
+    color: str = "#4e79a7",
+) -> str:
+    """One ``(x, y)`` series as a simple filled step chart."""
+    pad_l, pad_r, pad_t, pad_b = 52, 10, 8, 30
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    parts = [_svg_open(width, height)]
+    parts.append('<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" '
+                 'stroke="#ccc"/>' % (pad_l, pad_t, plot_w, plot_h))
+    pts = [(float(x), float(y)) for x, y in points]
+    if not pts:
+        parts.append(_axis_label(width / 2, height / 2, "(no samples)"))
+        parts.append("</svg>")
+        return "".join(parts)
+    x0, x1 = pts[0][0], pts[-1][0]
+    if x1 <= x0:
+        x1 = x0 + 1.0
+    y_max = max(y for _, y in pts) or 1.0
+
+    def sx(x: float) -> float:
+        return pad_l + (x - x0) / (x1 - x0) * plot_w
+
+    def sy(y: float) -> float:
+        return pad_t + (1.0 - y / y_max) * plot_h
+
+    for frac in (0.0, 0.5, 1.0):
+        y = pad_t + (1.0 - frac) * plot_h
+        parts.append(_axis_label(pad_l - 4, y + 4, _fmt(frac * y_max), "end"))
+        x = pad_l + frac * plot_w
+        parts.append(_axis_label(x, height - pad_b + 14,
+                                 _fmt(x0 + frac * (x1 - x0))))
+    parts.append(_axis_label(pad_l + plot_w / 2, height - 4,
+                             y_label or x_label))
+    poly = ["%s,%s" % (_fmt(sx(x0)), _fmt(sy(0.0)))]
+    prev_y = None
+    for x, y in pts:
+        if prev_y is not None:
+            poly.append("%s,%s" % (_fmt(sx(x)), _fmt(sy(prev_y))))
+        poly.append("%s,%s" % (_fmt(sx(x)), _fmt(sy(y))))
+        prev_y = y
+    poly.append("%s,%s" % (_fmt(sx(x1)), _fmt(sy(0.0))))
+    parts.append('<polygon points="%s" fill="%s" fill-opacity="0.25" '
+                 'stroke="%s" stroke-width="1.5"/>'
+                 % (" ".join(poly), color, color))
     parts.append("</svg>")
     return "".join(parts)
 
@@ -504,6 +628,119 @@ def write_html_report(path: str, result, title: str = "CellFusion run report",
                       worst_k: int = 3) -> int:
     """Render and write the HTML report; returns the byte count."""
     doc = render_html_report(result, title=title, worst_k=worst_k)
+    data = doc.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def render_fleet_html_report(report, title: str = "CellFusion fleet report") -> str:
+    """A :class:`~repro.fleet.report.FleetReport` as one HTML page.
+
+    Same zero-dependency contract as :func:`render_html_report`: inline
+    SVG only, deterministic output (the page embeds the report's content
+    digest, so two pages differ iff the runs differ).  Sections: fleet
+    tiles, delay CDFs straight from the merged histograms, per-vehicle
+    QoE CDFs, the fleet concurrency timeline, per-PoP peaks, and the
+    control-plane accounting (autoscaler / SNAT / controller).
+    """
+    agg = report.fleet_aggregate()
+    qoe = report.qoe_summary()
+    ctl = report.control
+    cfg = report.config
+
+    html: List[str] = []
+    html.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    html.append("<title>%s</title><style>%s</style></head><body>"
+                % (escape(title), _CSS))
+    html.append("<h1>%s</h1>" % escape(title))
+
+    html.append('<div class="tiles">')
+    html.append(_tile("vehicles", str(len(report.vehicles))))
+    html.append(_tile("mode", str(cfg.get("mode", "?"))))
+    html.append(_tile("transport", str(cfg.get("transport", "?"))))
+    html.append(_tile("mean fps", "%.2f" % qoe["avg_fps"]))
+    html.append(_tile("mean stall", "%.2f%%" % (qoe["stall_ratio"] * 100)))
+    html.append(_tile("mean ssim", "%.3f" % qoe["ssim"]))
+    html.append(_tile("delivery", "%.2f%%" % (agg.delivery_ratio * 100)))
+    html.append(_tile("peak conc.", str(ctl["concurrency"]["peak_total"])))
+    html.append(_tile("failovers", str(ctl["controller"]["failovers"])))
+    if ctl["controller"]["unplaced"]:
+        html.append(_tile("unplaced", str(ctl["controller"]["unplaced"])))
+    html.append("</div>")
+
+    html.append("<h2>Fleet delay CDFs</h2>")
+    hists = {name: agg.metrics._histograms.get(name)
+             for name in ("delay.packet", "delay.e2e")}
+    html.append("<figure>%s<figcaption>Merged across all %d vehicles from "
+                "lossless histogram buckets; e2e adds each vehicle's "
+                "PoP access delay; never-delivered packets are censored "
+                "at 1 s.</figcaption></figure>"
+                % (render_hist_cdf_svg(hists), len(report.vehicles)))
+
+    html.append("<h2>Per-vehicle QoE</h2>")
+    html.append("<figure>%s</figure>" % render_cdf_svg(
+        {"avg fps": [v["qoe"]["avg_fps"] for v in report.vehicles]},
+        x_label="per-vehicle average fps"))
+    html.append("<figure>%s</figure>" % render_cdf_svg(
+        {"ssim": [v["qoe"]["ssim"] for v in report.vehicles]},
+        x_label="per-vehicle SSIM"))
+
+    samples = ctl["concurrency"]["samples"]
+    html.append("<h2>Fleet concurrency</h2>")
+    html.append("<figure>%s<figcaption>Connected vehicles per control "
+                "tick (joins staggered over %.0f s, %.0f s sessions)."
+                "</figcaption></figure>"
+                % (render_series_svg([(s["t"], s["total"]) for s in samples],
+                                     y_label="connected vehicles"),
+                   cfg.get("join_window", 0.0), cfg.get("session_time", 0.0)))
+
+    peaks = sorted(ctl["concurrency"]["per_pop_peak"].items(),
+                   key=lambda kv: (-kv[1], kv[0]))
+    if peaks:
+        html.append("<h2>Per-PoP peak concurrency</h2>")
+        shown = peaks[:12]
+        rows = "".join("<tr><td style='text-align:left'>%s</td><td>%d</td>"
+                       "</tr>" % (escape(pid), n) for pid, n in shown)
+        html.append('<table class="data"><tr><th>pop</th><th>peak sessions'
+                    '</th></tr>%s</table>' % rows)
+        if len(peaks) > len(shown):
+            html.append("<p>(%d more PoPs held sessions)</p>"
+                        % (len(peaks) - len(shown)))
+
+    html.append("<h2>Control plane</h2>")
+    asc, snat = ctl["autoscaler"], ctl["snat"]
+    rows = [
+        ("autoscaler scale-ups", asc["ups"]),
+        ("autoscaler scale-downs", asc["downs"]),
+        ("containers final / peak", "%d / %d" % (asc["final_containers"],
+                                                 asc["peak_containers"])),
+        ("SNAT ports (pool)", snat["port_count"]),
+        ("SNAT peak live", snat["peak_live"]),
+        ("SNAT idle evictions", snat["evictions"]),
+        ("SNAT denials", snat["denials"]),
+        ("health failures", ctl["controller"]["health_failures"]),
+        ("failovers", ctl["controller"]["failovers"]),
+    ]
+    if ctl["controller"]["outage_pops"]:
+        rows.append(("outage", "%d PoP(s) at t=%.0fs"
+                     % (len(ctl["controller"]["outage_pops"]),
+                        ctl["controller"]["outage_time"])))
+    html.append('<table class="data">%s</table>' % "".join(
+        "<tr><td style='text-align:left'>%s</td><td>%s</td></tr>"
+        % (escape(str(k)), escape(str(v))) for k, v in rows))
+
+    html.append("<p style='color:#667;font-size:11px'>fleet seed %s — "
+                "digest <code>%s</code></p>"
+                % (cfg.get("seed", "?"), report.digest))
+    html.append("</body></html>")
+    return "".join(html)
+
+
+def write_fleet_html_report(path: str, report,
+                            title: str = "CellFusion fleet report") -> int:
+    """Render and write the fleet HTML report; returns the byte count."""
+    doc = render_fleet_html_report(report, title=title)
     data = doc.encode("utf-8")
     with open(path, "wb") as fh:
         fh.write(data)

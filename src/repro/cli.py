@@ -11,6 +11,12 @@ Commands:
   the comparison table (the Fig. 9/11 harness, parameterised);
 * ``figure`` — regenerate one paper figure's rows (fig3, fig8, fig9,
   fig10a, fig10b, fig11, fig12, fig13a, fig13b);
+* ``fleet`` — run a sharded N-vehicle fleet simulation through the
+  shared control plane (controller placement, SNAT pressure,
+  autoscaling) and write the merged fleet report — JSON with a
+  canonical content digest plus a self-contained HTML page;
+  ``--check-digest`` re-runs a saved report's config and verifies the
+  stored digest still reproduces (see docs/fleet.md);
 * ``trace`` — synthesise a cellular drive trace and export it;
 * ``lint`` — run the repo's static protocol/determinism linter
   (``tools/lint``) over the source tree;
@@ -170,6 +176,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.spans_out:
         count = result.telemetry.spans.export_jsonl(args.spans_out)
         print("wrote %d span records to %s" % (count, args.spans_out))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetConfig, FleetReport, run_fleet
+
+    if args.check_digest:
+        saved = FleetReport.load(args.check_digest)
+        config = FleetConfig.from_dict(saved.config)
+        if args.shards is not None:
+            config = FleetConfig.from_dict(
+                dict(saved.config, shards=args.shards))
+        print("re-running %d vehicles (seed %d, %d shard(s)) against %s"
+              % (config.vehicles, config.seed, config.shards,
+                 args.check_digest))
+        fresh = run_fleet(config)
+        if fresh.digest != saved.digest:
+            print("DIGEST MISMATCH: saved %s..., fresh %s..."
+                  % (saved.digest[:16], fresh.digest[:16]), file=sys.stderr)
+            return 1
+        print("digest reproduced: %s" % fresh.digest)
+        return 0
+
+    config = FleetConfig(
+        vehicles=args.vehicles,
+        shards=args.shards if args.shards is not None else 1,
+        seed=args.seed,
+        duration=args.duration,
+        transport=args.transport,
+        bitrate_mbps=args.bitrate,
+        mode=args.mode,
+        join_window=args.join_window,
+        session_time=args.session_time,
+        outage_pops=args.outage_pops,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        sanitize=bool(args.sanitize),
+    )
+    report = run_fleet(config)
+    print(report.summary_table())
+    if args.out:
+        report.save(args.out)
+        print("wrote %s" % args.out)
+    if args.html:
+        from .analysis.report import write_fleet_html_report
+
+        title = "CellFusion fleet report — %d vehicles, seed %d" % (
+            config.vehicles, config.seed)
+        n = write_fleet_html_report(args.html, report, title=title)
+        print("wrote %s (%d bytes)" % (args.html, n))
     return 0
 
 
@@ -343,6 +399,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--out", help="output path (.json keeps loss/delay; else mahimahi)")
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a sharded N-vehicle fleet simulation")
+    p_fleet.add_argument("--vehicles", type=int, default=100,
+                         help="fleet size (default 100, the paper's)")
+    p_fleet.add_argument("--shards", type=int, default=None,
+                         help="worker processes (never affects results)")
+    p_fleet.add_argument("--seed", type=int, default=0, help="fleet seed")
+    p_fleet.add_argument("--duration", type=float, default=2.0,
+                         help="simulated streaming seconds per vehicle")
+    p_fleet.add_argument("--transport", default="cellfusion",
+                         choices=TRANSPORT_NAMES)
+    p_fleet.add_argument("--bitrate", type=float, default=30.0,
+                         help="video bitrate in Mbps")
+    from .fleet.config import VEHICLE_MODES
+
+    p_fleet.add_argument("--mode", default="tunnel",
+                         choices=list(VEHICLE_MODES),
+                         help="per-vehicle fidelity: full tunnel sim or "
+                              "closed-form lite draw (1k-10k scale)")
+    p_fleet.add_argument("--join-window", type=float, default=600.0,
+                         help="control-clock seconds joins are staggered over")
+    p_fleet.add_argument("--session-time", type=float, default=300.0,
+                         help="control-clock seconds each vehicle stays")
+    p_fleet.add_argument("--outage-pops", type=int, default=0,
+                         help="PoPs that crash mid-run (0 = none)")
+    p_fleet.add_argument("--fault-rate", type=float, default=0.0,
+                         help="fraction of vehicles streaming under a "
+                              "seeded random fault plan")
+    p_fleet.add_argument("--fault-seed", type=int, default=0)
+    p_fleet.add_argument("--sanitize", action="store_true",
+                         help="arm the runtime protocol sanitizer inside "
+                              "every vehicle run")
+    p_fleet.add_argument("--out", metavar="FILE",
+                         help="write the full fleet report as JSON")
+    p_fleet.add_argument("--html", metavar="FILE", default="fleet-report.html",
+                         help="write the fleet HTML report "
+                              "(default fleet-report.html; '' disables)")
+    p_fleet.add_argument("--check-digest", metavar="REPORT.json",
+                         help="re-run the saved report's config and verify "
+                              "the stored digest reproduces (ignores all "
+                              "other flags except --shards)")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_lint = sub.add_parser("lint", help="run the repo protocol/determinism linter")
     p_lint.add_argument("lint_args", nargs=argparse.REMAINDER,

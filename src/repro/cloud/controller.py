@@ -130,6 +130,17 @@ class Controller:
                 failed.append(pop.pop_id)
         return failed
 
+    def drain(self, pop_id: str) -> None:
+        """Stop placing new vehicles on a PoP (existing sessions stay)."""
+        pop = self._pops.get(pop_id)
+        if pop is not None:
+            pop.draining = True
+
+    def undrain(self, pop_id: str) -> None:
+        pop = self._pops.get(pop_id)
+        if pop is not None:
+            pop.draining = False
+
     # -- orchestration -------------------------------------------------------------
 
     def candidate_proxies(
@@ -165,6 +176,39 @@ class Controller:
     def assigned_pop(self, device_id: str) -> Optional[str]:
         record = self._devices.get(device_id)
         return record.assigned_pop if record else None
+
+    def place(
+        self,
+        device_id: str,
+        token: str,
+        location: Tuple[float, float],
+        rng=None,
+        count: int = 3,
+    ) -> Optional[PopNode]:
+        """Orchestrate one CPE end to end: candidates -> delay -> assign.
+
+        Models the paper's two-step placement (§6.1): the controller
+        offers the ``count`` healthy least-loaded PoPs, the CPE measures
+        access delay to each and connects to the minimum.  Exact delay
+        ties (co-located PoPs on the grid) are broken by drawing from
+        ``rng`` — pass a per-vehicle seeded generator
+        (``seeded_rng(fleet_seed, "vehicle-place", vid)``) and placement
+        is a pure function of the vehicle, independent of fleet
+        iteration or shard order.  Without ``rng`` ties fall back to
+        lexicographic ``pop_id``.  Returns the chosen PoP (assigned and
+        admitted), or ``None`` when no candidate has capacity.
+        """
+        candidates = self.candidate_proxies(device_id, token, count)
+        if not candidates:
+            return None
+        best_delay = min(p.access_delay(location) for p in candidates)
+        tied = [p for p in candidates
+                if p.access_delay(location) == best_delay]
+        tied.sort(key=lambda p: p.pop_id)
+        choice = tied[rng.randrange(len(tied))] if (rng is not None
+                                                    and len(tied) > 1) else tied[0]
+        self.assign(device_id, choice.pop_id)
+        return choice
 
     def failover(self, device_id: str, token: str, now: float) -> Optional[PopNode]:
         """Re-orchestrate a CPE whose PoP went unhealthy."""

@@ -32,6 +32,10 @@ class PopNode:
     capacity_sessions: int = 200
     active_sessions: int = 0
     healthy: bool = True
+    #: Administratively draining: existing sessions keep running but the
+    #: controller must never place a *new* vehicle here (maintenance /
+    #: pre-outage evacuation via :mod:`repro.cloud.migration`).
+    draining: bool = False
     last_heartbeat: float = 0.0
 
     def __post_init__(self):
@@ -45,7 +49,8 @@ class PopNode:
 
     @property
     def has_capacity(self) -> bool:
-        return self.healthy and self.active_sessions < self.capacity_sessions
+        return (self.healthy and not self.draining
+                and self.active_sessions < self.capacity_sessions)
 
     def distance_km(self, point: Tuple[float, float]) -> float:
         dx = self.location[0] - point[0]

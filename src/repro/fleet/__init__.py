@@ -1,0 +1,27 @@
+"""Fleet-scale simulation: N seeded vehicle tunnels, sharded (ROADMAP 1).
+
+The fleet layer drives many independent per-vehicle tunnel simulations
+through one shared control plane — real controller placement, SNAT
+port-pool pressure, autoscaling — and merges per-vehicle aggregates
+into a fleet report whose content digest is byte-identical for any
+shard count.  See docs/fleet.md.
+"""
+
+from .config import VEHICLE_MODES, FleetConfig
+from .report import FleetReport, hex_floats
+from .runner import FleetPlan, plan_fleet, run_fleet, shard_blocks
+from .vehicle import UNPLACED_ACCESS_DELAY, VehicleSpec, simulate_vehicle
+
+__all__ = [
+    "VEHICLE_MODES",
+    "FleetConfig",
+    "FleetPlan",
+    "FleetReport",
+    "UNPLACED_ACCESS_DELAY",
+    "VehicleSpec",
+    "hex_floats",
+    "plan_fleet",
+    "run_fleet",
+    "shard_blocks",
+    "simulate_vehicle",
+]

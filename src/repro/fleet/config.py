@@ -1,0 +1,150 @@
+"""Fleet run configuration.
+
+One :class:`FleetConfig` fully determines a fleet run: the per-vehicle
+seeds, the control-plane timeline (joins, leaves, autoscaler ticks,
+outages), the SNAT pool sizing, and the per-vehicle simulations are all
+pure functions of it.  ``shards`` is the *only* field allowed to change
+without changing the results — the shard-invariance regression suite
+pins that a :class:`~repro.fleet.report.FleetReport` digest is
+byte-identical for any shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+__all__ = [
+    "VEHICLE_MODES",
+    "FleetConfig",
+]
+
+#: Per-vehicle simulation fidelities.
+#:
+#: * ``tunnel`` — every vehicle is a full seeded
+#:   :func:`~repro.experiments.runner.run_stream` session (real XNC
+#:   tunnel, emulator, video source).  ~0.2 wall-seconds per simulated
+#:   second per vehicle; the fidelity the paper figures use.
+#: * ``lite``  — every vehicle is a cheap closed-form seeded QoE draw
+#:   (no event loop).  ~10k vehicles/second; same control plane, same
+#:   aggregation pipeline, for 1k-10k-scale runs and merge-path tests.
+VEHICLE_MODES = ("tunnel", "lite")
+
+
+@dataclass
+class FleetConfig:
+    """Everything a fleet run needs; validated on construction."""
+
+    #: Fleet size (the paper deployment ran 100 vehicles, §6.1).
+    vehicles: int = 100
+    #: Worker processes; vids are split into contiguous blocks, one
+    #: event-loop-owning process per block.  Never affects results.
+    shards: int = 1
+    #: Root seed; every vehicle derives its own sub-stream from it.
+    seed: int = 0
+    #: Per-vehicle simulated streaming seconds (a *sample* of the
+    #: vehicle's session, not the control-plane session length below).
+    duration: float = 2.0
+    #: Transport registry name (see repro.experiments.runner).
+    transport: str = "cellfusion"
+    bitrate_mbps: float = 30.0
+    #: Per-vehicle fidelity, one of :data:`VEHICLE_MODES`.
+    mode: str = "tunnel"
+
+    # -- control plane ------------------------------------------------------
+    #: PoP grid: per-region count x regions (defaults to the paper's
+    #: ~50-PoP / three-state footprint).
+    pops_per_region: int = 17
+    regions: Tuple[str, ...] = ("state-A", "state-B", "state-C")
+    #: Candidate PoPs the controller offers each CPE (§6.1 function 4).
+    candidates: int = 3
+    #: Vehicles join staggered over this many control-clock seconds.
+    join_window: float = 600.0
+    #: Control-clock seconds each vehicle stays connected.
+    session_time: float = 300.0
+    #: Autoscaler / health-check / SNAT-expiry tick interval.
+    control_tick: float = 15.0
+    #: Proxy containers: sessions per container and scaling cooldown
+    #: (the rest of the policy keeps AutoscalerPolicy defaults).
+    sessions_per_container: int = 25
+    autoscaler_cooldown: float = 30.0
+    #: PoPs that stop heartbeating at ``outage_time`` (0 = no outage).
+    outage_pops: int = 0
+    #: When the outage strikes; defaults to mid-join-window when None.
+    outage_time: float = -1.0
+
+    # -- SNAT ---------------------------------------------------------------
+    #: Flows each vehicle pushes through the proxy SNAT (one per path).
+    flows_per_vehicle: int = 4
+    #: Proxy SNAT port-pool size; 0 = auto-size to roughly half the
+    #: fleet's total flow demand, so overlapping sessions genuinely
+    #: contend for ports at every fleet size.
+    snat_port_count: int = 0
+    #: UDP-style idle expiry for SNAT mappings (control-clock seconds).
+    snat_idle_timeout: float = 60.0
+
+    # -- chaos --------------------------------------------------------------
+    #: Fraction of vehicles that stream under a seeded random fault plan.
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    #: Arm the runtime protocol sanitizer inside every vehicle run.
+    sanitize: bool = False
+
+    def __post_init__(self):
+        if self.vehicles < 1:
+            raise ValueError("vehicles must be >= 1")
+        if not 1 <= self.shards <= self.vehicles:
+            raise ValueError("shards must be in [1, vehicles]")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.mode not in VEHICLE_MODES:
+            raise ValueError("mode must be one of %s, got %r"
+                             % (VEHICLE_MODES, self.mode))
+        if self.pops_per_region < 1 or not self.regions:
+            raise ValueError("need at least one PoP in at least one region")
+        if self.candidates < 1:
+            raise ValueError("candidates must be >= 1")
+        if self.join_window < 0 or self.session_time <= 0:
+            raise ValueError("join_window must be >= 0, session_time > 0")
+        if self.control_tick <= 0:
+            raise ValueError("control_tick must be positive")
+        if self.flows_per_vehicle < 0 or self.snat_port_count < 0:
+            raise ValueError("flows_per_vehicle/snat_port_count must be >= 0")
+        if self.snat_idle_timeout <= 0:
+            raise ValueError("snat_idle_timeout must be positive")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must lie in [0, 1]")
+        if self.outage_pops < 0:
+            raise ValueError("outage_pops must be >= 0")
+        if self.outage_pops >= self.pops_per_region * len(self.regions):
+            raise ValueError("outage_pops must leave at least one PoP up")
+        from ..experiments.runner import TRANSPORT_NAMES
+
+        if self.transport not in TRANSPORT_NAMES:
+            raise ValueError("unknown transport %r" % self.transport)
+        self.regions = tuple(self.regions)
+
+    @property
+    def effective_outage_time(self) -> float:
+        """The configured outage time, defaulted to mid-join-window."""
+        return self.outage_time if self.outage_time >= 0 else self.join_window / 2
+
+    @property
+    def effective_snat_ports(self) -> int:
+        """Auto-sized port pool: ~half the fleet's total flow demand."""
+        if self.snat_port_count:
+            return self.snat_port_count
+        return max(64, self.vehicles * self.flows_per_vehicle // 2)
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["regions"] = list(self.regions)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetConfig":
+        d = dict(d)
+        if "regions" in d:
+            d["regions"] = tuple(d["regions"])
+        return cls(**d)

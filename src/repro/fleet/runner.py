@@ -1,0 +1,312 @@
+"""Fleet runner: control plane + sharded per-vehicle simulation.
+
+Two phases, deliberately separated so shard count can never leak into
+results:
+
+**Phase 1 — control plane** (:func:`plan_fleet`, parent process only).
+A deterministic discrete timeline on the *control clock*: vehicles join
+staggered over ``join_window`` and stay for ``session_time``; at each
+join the :class:`~repro.cloud.controller.Controller` runs real placement
+(healthy least-loaded candidates, per-vehicle seeded tie-breaking) and
+the vehicle's flows are pushed through the shared proxy
+:class:`~repro.cloud.nat.SnatTable` (auto-sized to genuinely contend);
+every ``control_tick`` the PoPs heartbeat, stale PoPs are failed, the
+:class:`~repro.cloud.autoscaler.ProxyAutoscaler` reacts to aggregate
+load, idle SNAT mappings expire, vehicles stranded on dead PoPs fail
+over, and per-PoP concurrency is sampled.  The output is a
+:class:`FleetPlan`: one frozen :class:`~repro.fleet.vehicle.VehicleSpec`
+per vehicle plus the control-plane accounting.
+
+**Phase 2 — vehicles** (:func:`run_fleet`).  Each spec is a pure
+function of (fleet seed, vid, placement); specs are split into
+contiguous vid blocks and executed on a
+``concurrent.futures.ProcessPoolExecutor`` — one worker process (and
+therefore one event loop at a time) per shard.  Workers return plain
+payload dicts; the parent always folds them **in vid order**, so the
+merged :class:`~repro.obs.RunAggregate` — and the
+:class:`~repro.fleet.report.FleetReport` digest over it — is
+byte-identical for 1, 2, 4, or any other shard count (float addition is
+not associative, so a per-shard pre-merge would not be).
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..cloud.autoscaler import AutoscalerPolicy, ProxyAutoscaler
+from ..cloud.controller import Controller
+from ..cloud.nat import NatError, SnatTable
+from ..cloud.pop import default_pop_grid
+from ..determinism import derive_seed, seeded_rng
+from ..obs.aggregate import RunAggregate
+from .config import FleetConfig
+from .report import FleetReport
+from .vehicle import UNPLACED_ACCESS_DELAY, VehicleSpec, simulate_vehicle
+
+__all__ = [
+    "FleetPlan",
+    "plan_fleet",
+    "run_fleet",
+    "shard_blocks",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Proxy-side public IP of the SNAT model (documentation value).
+SNAT_PUBLIC_IP = "203.0.113.7"
+#: UDP protocol number for SNAT flow keys.
+_UDP = 17
+
+
+@dataclass
+class FleetPlan:
+    """Phase-1 output: frozen vehicle specs + control-plane accounting."""
+
+    config: FleetConfig
+    vehicles: List[VehicleSpec]
+    #: Deterministic control-plane accounting (autoscaler / SNAT /
+    #: controller / per-PoP concurrency), JSON-able.
+    control: dict = field(default_factory=dict)
+
+
+def _grid_bounds(pops) -> Tuple[float, float, float, float]:
+    xs = [p.location[0] for p in pops]
+    ys = [p.location[1] for p in pops]
+    return min(xs), max(xs), min(ys), max(ys)
+
+
+def plan_fleet(config: FleetConfig) -> FleetPlan:
+    """Run the deterministic control-plane timeline; returns the plan.
+
+    Everything here happens in the parent process before any shard
+    spawns, and consumes only RNG streams derived per vehicle
+    (``seeded_rng(seed, "vehicle-*", vid)``) — so the plan is identical
+    for every shard count and every scheduling order.
+    """
+    pops = default_pop_grid(config.pops_per_region, config.regions)
+    controller = Controller()
+    scaler = ProxyAutoscaler(AutoscalerPolicy(
+        sessions_per_container=config.sessions_per_container,
+        cooldown=config.autoscaler_cooldown,
+    ))
+    for pop in pops:
+        controller.register_pop(pop)
+        # containers drive admission capacity from t=0
+        pop.capacity_sessions = scaler.capacity(pop.pop_id)
+    snat = SnatTable(SNAT_PUBLIC_IP, port_count=config.effective_snat_ports,
+                     idle_timeout=config.snat_idle_timeout)
+    outage_ids = [p.pop_id for p in pops[:config.outage_pops]]
+    outage_time = config.effective_outage_time
+
+    x0, x1, y0, y1 = _grid_bounds(pops)
+    tokens: Dict[int, str] = {}
+    joins: List[Tuple[float, int]] = []
+    for vid in range(config.vehicles):
+        prng = seeded_rng(config.seed, "vehicle-place", vid)
+        jitter = prng.random() * config.join_window / max(1, config.vehicles)
+        join_time = config.join_window * vid / config.vehicles + jitter
+        joins.append((join_time, vid))
+
+    # one merged timeline: ticks, the outage, leaves, then joins at equal
+    # instants (fixed kind priority keeps ordering fully deterministic)
+    end = (max(t for t, _ in joins) if joins else 0.0) + config.session_time
+    events: List[Tuple[float, int, int]] = []
+    tick = 0.0
+    while tick <= end + config.control_tick:
+        events.append((tick, 0, -1))
+        tick += config.control_tick
+    if outage_ids:
+        events.append((outage_time, 1, -1))
+    for t, vid in joins:
+        events.append((t + config.session_time, 2, vid))  # leave
+        events.append((t, 3, vid))                        # join
+    events.sort()
+
+    specs: Dict[int, VehicleSpec] = {}
+    active: Dict[int, VehicleSpec] = {}
+    flows: Dict[int, List[Tuple[str, int]]] = {}
+    outage_struck = False
+    unplaced = 0
+    snat_denials = 0
+    peak_live_ports = 0
+    peak_containers = scaler.total_containers()
+    per_pop_peak: Dict[str, int] = {}
+    samples: List[dict] = []
+    health_failures = 0
+
+    def _refresh_flows(vid: int, now: float) -> None:
+        nonlocal snat_denials
+        for addr, port in flows.get(vid, ()):
+            try:
+                snat.translate(_UDP, addr, port, now=now)
+            except NatError:
+                snat_denials += 1
+
+    for now, kind, vid in events:
+        if kind == 0:  # control tick
+            for pop in pops:
+                if outage_struck and pop.pop_id in outage_ids:
+                    continue  # crashed PoPs stop heartbeating
+                controller.heartbeat(pop.pop_id, pop.active_sessions, now)
+            health_failures += len(controller.check_health(now))
+            # vehicles stranded on a dead PoP re-orchestrate
+            for avid in sorted(active):
+                spec = active[avid]
+                pop_id = controller.assigned_pop(spec.device_id)
+                if pop_id is not None:
+                    pop = next((p for p in pops if p.pop_id == pop_id), None)
+                    if pop is not None and not pop.healthy:
+                        controller.failover(spec.device_id, tokens[avid], now)
+            for decision in scaler.evaluate_fleet(pops, now):
+                logger.debug("autoscaler %s %s %d->%d", decision.pop_id,
+                             decision.direction, decision.from_containers,
+                             decision.to_containers)
+            peak_containers = max(peak_containers, scaler.total_containers())
+            snat.expire_idle(now)
+            for avid in sorted(active):
+                _refresh_flows(avid, now)
+            peak_live_ports = max(peak_live_ports, len(snat))
+            per_pop = {p.pop_id: p.active_sessions for p in pops
+                       if p.active_sessions}
+            for pid, n in per_pop.items():
+                if n > per_pop_peak.get(pid, 0):
+                    per_pop_peak[pid] = n
+            samples.append({"t": now, "total": len(active),
+                            "per_pop": per_pop})
+        elif kind == 1:  # outage strikes
+            outage_struck = True
+        elif kind == 2:  # leave: sessions end, UDP mappings just go idle
+            spec = active.pop(vid, None)
+            if spec is None:
+                continue
+            pop_id = controller.assigned_pop(spec.device_id)
+            if pop_id is not None:
+                pop = next((p for p in pops if p.pop_id == pop_id), None)
+                if pop is not None:
+                    pop.release()
+        else:  # join: authenticate, place, open SNAT flows
+            device_id = "veh-%05d" % vid
+            token = controller.register_device(device_id)
+            tokens[vid] = token
+            prng = seeded_rng(config.seed, "vehicle-place", vid)
+            prng.random()  # consumed above for join jitter
+            location = (x0 + prng.random() * (x1 - x0),
+                        y0 + prng.random() * (y1 - y0))
+            choice = controller.place(
+                device_id, token, location,
+                rng=seeded_rng(config.seed, "vehicle-tiebreak", vid),
+                count=config.candidates)
+            if choice is None:
+                unplaced += 1
+                pop_id, access = None, UNPLACED_ACCESS_DELAY
+            else:
+                pop_id, access = choice.pop_id, choice.access_delay(location)
+            faulted = (config.fault_rate > 0.0 and
+                       seeded_rng(config.seed, "vehicle-fault", vid).random()
+                       < config.fault_rate)
+            spec = VehicleSpec(
+                vid=vid,
+                seed=derive_seed(config.seed, "vehicle", vid),
+                device_id=device_id,
+                join_time=now,
+                location=location,
+                pop_id=pop_id,
+                access_delay=access,
+                faulted=faulted,
+                fault_seed=derive_seed(config.fault_seed, "vehicle-fault", vid),
+            )
+            specs[vid] = spec
+            active[vid] = spec
+            tun_addr = "10.64.0.%d" % (vid % 250)
+            flows[vid] = [(tun_addr, 50000 + vid * config.flows_per_vehicle + i)
+                          for i in range(config.flows_per_vehicle)]
+            _refresh_flows(vid, now)
+            peak_live_ports = max(peak_live_ports, len(snat))
+
+    ups = sum(1 for d in scaler.decisions if d.direction == "up")
+    downs = sum(1 for d in scaler.decisions if d.direction == "down")
+    control = {
+        "ticks": len(samples),
+        "autoscaler": {
+            "ups": ups,
+            "downs": downs,
+            "final_containers": scaler.total_containers(),
+            "peak_containers": peak_containers,
+        },
+        "snat": {
+            "port_count": config.effective_snat_ports,
+            "evictions": snat.evictions,
+            "flushes": snat.flushes,
+            "denials": snat_denials,
+            "peak_live": peak_live_ports,
+        },
+        "controller": {
+            "failovers": controller.failovers,
+            "unplaced": unplaced,
+            "health_failures": health_failures,
+            "outage_pops": outage_ids,
+            "outage_time": outage_time if outage_ids else None,
+        },
+        "concurrency": {
+            "samples": samples,
+            "peak_total": max((s["total"] for s in samples), default=0),
+            "per_pop_peak": {k: per_pop_peak[k] for k in sorted(per_pop_peak)},
+        },
+    }
+    return FleetPlan(config=config,
+                     vehicles=[specs[v] for v in sorted(specs)],
+                     control=control)
+
+
+def shard_blocks(n_vehicles: int, shards: int) -> List[range]:
+    """Contiguous vid blocks, one per shard; sizes differ by at most 1."""
+    if not 1 <= shards <= n_vehicles:
+        raise ValueError("shards must be in [1, n_vehicles]")
+    return [range(i * n_vehicles // shards, (i + 1) * n_vehicles // shards)
+            for i in range(shards)]
+
+
+def _run_shard(config: FleetConfig, specs: List[VehicleSpec]) -> List[dict]:
+    """Worker entry point: simulate one contiguous block of vehicles.
+
+    Module-level on purpose (executor spawn safety): no closures, no
+    shared state — just (config, specs) in, payload dicts out.
+    """
+    return [simulate_vehicle(spec, config) for spec in specs]
+
+
+def run_fleet(config: FleetConfig) -> FleetReport:
+    """Plan the fleet, simulate every vehicle, merge, and report.
+
+    Shard workers return per-vehicle payloads; the parent folds them in
+    ascending vid order regardless of which shard produced them or when
+    it finished, which makes the merged aggregate — and the report
+    digest — invariant to ``config.shards``.
+    """
+    import time
+
+    t0 = time.perf_counter()  # lint: disable=no-wall-clock -- informational wall time for the report meta; excluded from the digest
+    plan = plan_fleet(config)
+    blocks = shard_blocks(config.vehicles, config.shards)
+    if config.shards == 1:
+        payloads = _run_shard(config, plan.vehicles)
+    else:
+        by_block = [[plan.vehicles[v] for v in block] for block in blocks]
+        with ProcessPoolExecutor(max_workers=config.shards) as pool:
+            futures = [pool.submit(_run_shard, config, specs)
+                       for specs in by_block]
+            shard_results = [f.result() for f in futures]
+        payloads = [p for block in shard_results for p in block]
+    payloads.sort(key=lambda p: p["vid"])
+
+    fleet_agg = RunAggregate()
+    for payload in payloads:
+        fleet_agg.merge(RunAggregate.from_state(payload["aggregate"]))
+    wall = time.perf_counter() - t0  # lint: disable=no-wall-clock -- paired read closing the informational wall-time window
+
+    logger.info("fleet run: %d vehicles / %d shard(s) in %.1f s wall",
+                config.vehicles, config.shards, wall)
+    return FleetReport.build(config, plan, payloads, fleet_agg, wall)

@@ -19,8 +19,9 @@ shared geometric grid) and lifted here to whole runs:
   largest total delay first.
 
 Everything is plain data in, plain dicts out — the HTML report renders
-these, and ``as_dict``/``from_dict`` round-trips keep aggregates
-shippable as JSON between shards.
+these, and ``state_dict``/``from_state`` round-trips keep aggregates
+shippable as JSON between shards (``as_dict`` stays the lossy summary
+view reports print).
 """
 
 from __future__ import annotations
@@ -225,3 +226,36 @@ class RunAggregate:
             "delivery_ratio": self.delivery_ratio,
             "metrics": self.metrics.snapshot(),
         }
+
+    def state_dict(self) -> dict:
+        """Exact, mergeable state (lossless histograms, JSON-safe).
+
+        Unlike :meth:`as_dict` — whose metric snapshot keeps only summary
+        quantiles — this round-trips through :meth:`from_state` with the
+        sparse bucket tables intact, so an aggregate shipped back from a
+        shard worker merges exactly as if the runs had been folded
+        locally."""
+        return {
+            "labels": list(self.labels),
+            "runs": self.runs,
+            "duration": self.duration,
+            "frames_sent": self.frames_sent,
+            "frame_status": dict(sorted(self.frame_status.items())),
+            "packets_sent": self.packets_sent,
+            "packets_received": self.packets_received,
+            "metrics": self.metrics.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunAggregate":
+        agg = cls()
+        agg.labels = sorted(state.get("labels", ()))
+        agg.runs = int(state["runs"])
+        agg.duration = float(state["duration"])
+        agg.frames_sent = int(state["frames_sent"])
+        agg.frame_status = {str(k): int(v)
+                            for k, v in state["frame_status"].items()}
+        agg.packets_sent = int(state["packets_sent"])
+        agg.packets_received = int(state["packets_received"])
+        agg.metrics = MetricsRegistry.from_state(state["metrics"])
+        return agg

@@ -60,6 +60,16 @@ class Counter:
     def as_dict(self) -> dict:
         return {"name": self.name, "kind": "counter", "value": self.value}
 
+    def state_dict(self) -> dict:
+        """Exact state for cross-process shipping (see Histogram)."""
+        return {"name": self.name, "value": self.value}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Counter":
+        c = cls(state["name"])
+        c.value = int(state["value"])
+        return c
+
 
 class Gauge:
     """Last-value instrument with the sim time of the last write."""
@@ -89,6 +99,18 @@ class Gauge:
             "value": self.value,
             "updated_at": self.updated_at,
         }
+
+    def state_dict(self) -> dict:
+        """Exact state for cross-process shipping (see Histogram)."""
+        return {"name": self.name, "value": self.value,
+                "updated_at": self.updated_at}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Gauge":
+        g = cls(state["name"])
+        g.value = float(state["value"])
+        g.updated_at = float(state["updated_at"])
+        return g
 
 
 class Histogram:
@@ -225,6 +247,46 @@ class Histogram:
         d.update(self.percentiles())
         return d
 
+    def state_dict(self) -> dict:
+        """Exact, lossless state — unlike :meth:`as_dict` (a summary for
+        humans and exports), this keeps the sparse bucket table so a
+        histogram shipped between shard processes merges *identically* to
+        one that never left.  Bucket keys are stringified for JSON; order
+        is sorted so the serialisation is byte-stable."""
+        return {
+            "name": self.name,
+            "growth": self.growth,
+            "min_value": self.min_value,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): self._buckets[k]
+                        for k in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        h = cls(state["name"], growth=state["growth"],
+                min_value=state["min_value"])
+        h.count = int(state["count"])
+        h.total = float(state["sum"])
+        h.min = math.inf if state["min"] is None else float(state["min"])
+        h.max = -math.inf if state["max"] is None else float(state["max"])
+        h._buckets = {int(k): int(n) for k, n in state["buckets"].items()}
+        return h
+
+    def iter_cdf(self):
+        """Yield ``(bucket_value, cumulative_fraction)`` pairs in value
+        order — the points a CDF plot needs, without expanding counts."""
+        if not self.count:
+            return
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            value = min(max(self._bucket_value(idx), self.min), self.max)
+            yield value, seen / self.count
+
 
 class MetricsRegistry:
     """Get-or-create home for every instrument in one run.
@@ -287,7 +349,7 @@ class MetricsRegistry:
         for name, h in other._histograms.items():
             mine = self._histograms.get(name)
             if mine is None:
-                mine = self._histograms[name] = Histogram(
+                mine = self._histograms[name] = Histogram(  # lint: hot-ok(constructed once per first-seen instrument name, not per fold; adopting the incoming grid needs a fresh Histogram)
                     name, growth=h.growth, min_value=h.min_value)
             mine.merge(h)
         return self
@@ -301,3 +363,33 @@ class MetricsRegistry:
             for name in sorted(store):
                 out.append(store[name].as_dict())
         return out
+
+    def state_dict(self) -> dict:
+        """Exact registry state (all instruments, lossless histograms).
+
+        JSON-safe and byte-stable (sorted names); ``from_state`` round
+        trips it so registries can cross process boundaries and still
+        merge exactly — the contract the fleet runner's shard workers
+        rely on."""
+        return {
+            "counters": [self._counters[n].state_dict()
+                         for n in sorted(self._counters)],
+            "gauges": [self._gauges[n].state_dict()
+                       for n in sorted(self._gauges)],
+            "histograms": [self._histograms[n].state_dict()
+                           for n in sorted(self._histograms)],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        reg = cls()
+        for s in state.get("counters", ()):
+            c = Counter.from_state(s)
+            reg._counters[c.name] = c
+        for s in state.get("gauges", ()):
+            g = Gauge.from_state(s)
+            reg._gauges[g.name] = g
+        for s in state.get("histograms", ()):
+            h = Histogram.from_state(s)
+            reg._histograms[h.name] = h
+        return reg

@@ -99,3 +99,85 @@ class TestScaling:
         pop = pop_with_sessions(60)
         scaler.evaluate(pop, now=0.0)
         assert pop.capacity_sessions == scaler.capacity("pop0")
+
+
+class TestHysteresisRamps:
+    """Load ramps must scale smoothly: no flapping inside the cooldown,
+    no up/down oscillation while load moves monotonically."""
+
+    def _ramp(self, scaler, pop, loads, tick=15.0):
+        decisions = []
+        for i, n in enumerate(loads):
+            pop.active_sessions = n
+            d = scaler.evaluate(pop, now=i * tick)
+            if d is not None:
+                decisions.append((i * tick, d))
+        return decisions
+
+    def test_cooldown_spacing_on_steep_ramp(self):
+        policy = AutoscalerPolicy(sessions_per_container=25, cooldown=60.0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(0)
+        # 0 -> 600 sessions over 40 ticks of 15 s: pressure every tick
+        loads = [min(600, 15 * i) for i in range(40)]
+        decisions = self._ramp(scaler, pop, loads)
+        assert decisions, "a 600-session ramp must trigger scaling"
+        times = [t for t, _ in decisions]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= policy.cooldown for g in gaps), \
+            "decisions closer than the cooldown: %r" % gaps
+
+    def test_monotonic_up_ramp_never_scales_down(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25,
+                                                  cooldown=30.0))
+        pop = pop_with_sessions(0)
+        decisions = self._ramp(scaler, pop, [10 * i for i in range(30)])
+        assert decisions
+        assert all(d.direction == "up" for _, d in decisions)
+
+    def test_monotonic_down_ramp_never_scales_up(self):
+        scaler = ProxyAutoscaler(AutoscalerPolicy(sessions_per_container=25,
+                                                  cooldown=30.0))
+        pop = pop_with_sessions(300)
+        # warm the scaler up to the plateau first
+        for i in range(10):
+            scaler.evaluate(pop, now=i * 15.0)
+        start = 10 * 15.0
+        downs = []
+        for i, n in enumerate(range(300, -1, -20)):
+            pop.active_sessions = n
+            d = scaler.evaluate(pop, now=start + i * 15.0)
+            if d is not None:
+                downs.append(d)
+        assert downs
+        assert all(d.direction == "down" for d in downs)
+
+    def test_plateau_inside_band_is_quiet(self):
+        """Steady load in the hysteresis band must produce zero actions."""
+        policy = AutoscalerPolicy(sessions_per_container=25, cooldown=30.0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(0)
+        for i in range(20):  # ramp up to a plateau
+            pop.active_sessions = min(200, 20 * i)
+            scaler.evaluate(pop, now=i * 15.0)
+        settled = scaler.containers("pop0")
+        util = pop.active_sessions / scaler.capacity("pop0")
+        assert policy.scale_down_threshold <= util <= policy.scale_up_threshold
+        before = len(scaler.decisions)
+        for i in range(20, 60):  # long quiet plateau
+            d = scaler.evaluate(pop, now=i * 15.0)
+            assert d is None
+        assert scaler.containers("pop0") == settled
+        assert len(scaler.decisions) == before
+
+    def test_sawtooth_within_band_never_flaps(self):
+        """A +/-10% load wobble around the target must cause no actions."""
+        policy = AutoscalerPolicy(sessions_per_container=25, cooldown=30.0)
+        scaler = ProxyAutoscaler(policy)
+        pop = pop_with_sessions(175)  # 0.70 util on 10 containers
+        scaler._containers["pop0"] = 10
+        pop.capacity_sessions = scaler.capacity("pop0")
+        for i in range(40):
+            wobble = 25 if i % 2 else -25  # util swings 0.60 <-> 0.80
+            pop.active_sessions = 175 + wobble
+            assert scaler.evaluate(pop, now=i * 15.0) is None

@@ -78,3 +78,59 @@ class TestSeededRunsByteIdentical:
         r2.telemetry.export_jsonl(str(p2))
         assert p1.read_bytes() == p2.read_bytes()
         assert p1.stat().st_size > 0
+
+
+class TestFleetShardInvariance:
+    """Fleet results are a pure function of (seed, config) — the shard
+    count is an execution detail and must never reach the digest.
+
+    This is the regression the fleet layer's whole design serves: specs
+    are frozen by the parent's control plane, each vehicle is pure, and
+    the parent folds per-vehicle aggregates in vid order (float addition
+    is not associative, so any per-shard pre-merge would show up here as
+    a digest mismatch).
+    """
+
+    def test_lite_fleet_digest_identical_across_shards(self):
+        from repro.fleet import FleetConfig, run_fleet
+
+        digests = {
+            shards: run_fleet(FleetConfig(vehicles=12, shards=shards, seed=7,
+                                          duration=1.0, mode="lite")).digest
+            for shards in (1, 2, 4)
+        }
+        assert len(set(digests.values())) == 1, \
+            "shard count leaked into results: %r" % digests
+
+    def test_tunnel_fleet_digest_identical_across_shards(self):
+        from repro.fleet import FleetConfig, run_fleet
+
+        digests = {
+            shards: run_fleet(FleetConfig(vehicles=4, shards=shards, seed=7,
+                                          duration=1.0, mode="tunnel")).digest
+            for shards in (1, 2, 4)
+        }
+        assert len(set(digests.values())) == 1, \
+            "shard count leaked into results: %r" % digests
+
+    def test_fleet_digest_reproducible_across_processes(self, tmp_path):
+        # digest must not depend on hash seeds, dict order, or any other
+        # per-process state: recompute in a fresh interpreter
+        import subprocess
+        import sys
+
+        from repro.fleet import FleetConfig, run_fleet
+
+        report = run_fleet(FleetConfig(vehicles=6, seed=3, duration=1.0,
+                                       mode="lite"))
+        script = (
+            "from repro.fleet import FleetConfig, run_fleet;"
+            "print(run_fleet(FleetConfig(vehicles=6, seed=3, duration=1.0,"
+            "mode='lite')).digest)"
+        )
+        out = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True, check=True,
+                             env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin",
+                                  "PYTHONHASHSEED": "random"},
+                             cwd=".")
+        assert out.stdout.strip() == report.digest

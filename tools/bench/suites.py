@@ -1,7 +1,8 @@
-"""The benchmark families: events, gf, wire, tunnel.
+"""The benchmark families: events, gf, wire, tunnel, fleet.
 
 Four hot paths, one family each (§4.3.1/§5.2 motivate the GF(2^8) focus;
-Fig. 14 reports CPU load as a first-class result):
+Fig. 14 reports CPU load as a first-class result), plus the fleet-scale
+family (ROADMAP item 1):
 
 * ``events``  — :class:`~repro.emulation.events.EventLoop` events/sec on
   a schedule/fire workload and on a cancellation-heavy churn workload
@@ -11,7 +12,12 @@ Fig. 14 reports CPU load as a first-class result):
 * ``wire``    — byte-level QUIC serialize/parse packets/sec;
 * ``tunnel``  — end-to-end application throughput of a fig10a-style
   4-path CellFusion session (delivered app MB per wall-second, the
-  number the ≥1.5x regression gate watches).
+  number the ≥1.5x regression gate watches);
+* ``fleet``   — vehicles per core-second through the fleet runner:
+  the full lite-mode pipeline (control plane + per-vehicle synthesis +
+  lossless merge) at paper scale, the control plane alone at 1k
+  vehicles, and the parent's aggregate-merge fold.  All run inline
+  (``shards=1``) so the number is per-core and machine-comparable.
 
 Workloads are pure functions of their seeds: same inputs every trial,
 every machine, every run — the wall clock is the only nondeterminism,
@@ -219,6 +225,60 @@ def _bench_tunnel_fig10a(workload: Workload) -> float:
     return result.packets_received * mean_payload / 1e6  # delivered app MB
 
 
+# -- fleet ------------------------------------------------------------------
+
+
+def _bench_fleet_lite(workload: Workload) -> float:
+    from repro.fleet import FleetConfig, run_fleet
+
+    vehicles = _scaled(workload, 400, 40)
+    report = run_fleet(FleetConfig(vehicles=vehicles, shards=1,
+                                   seed=WORKLOAD_SEED, duration=2.0,
+                                   mode="lite"))
+    if len(report.vehicles) != vehicles:
+        raise AssertionError("fleet run lost vehicles")
+    return float(vehicles)
+
+
+def _bench_fleet_plan(workload: Workload) -> float:
+    from repro.fleet import FleetConfig, plan_fleet
+
+    vehicles = _scaled(workload, 1000, 100)
+    plan = plan_fleet(FleetConfig(vehicles=vehicles, shards=1,
+                                  seed=WORKLOAD_SEED, duration=1.0,
+                                  mode="lite"))
+    if len(plan.vehicles) != vehicles:
+        raise AssertionError("fleet plan lost vehicles")
+    return float(vehicles)
+
+
+def _bench_fleet_merge(workload: Workload) -> float:
+    from repro.fleet import FleetConfig, simulate_vehicle
+    from repro.fleet.vehicle import VehicleSpec
+    from repro.determinism import derive_seed
+    from repro.obs.aggregate import RunAggregate
+
+    config = FleetConfig(vehicles=1, shards=1, seed=WORKLOAD_SEED,
+                         duration=2.0, mode="lite")
+    # a small pool of distinct shipped states, folded many times — the
+    # parent's merge loop is the hot path, not the synthesis
+    states = []
+    for vid in range(8):
+        spec = VehicleSpec(vid=vid,
+                           seed=derive_seed(WORKLOAD_SEED, "vehicle", vid),
+                           device_id="veh-%05d" % vid, join_time=0.0,
+                           location=(0.0, 0.0), pop_id=None,
+                           access_delay=0.01)
+        states.append(simulate_vehicle(spec, config)["aggregate"])
+    merges = _scaled(workload, 4000, 400)
+    fleet = RunAggregate()
+    for i in range(merges):
+        fleet.merge(RunAggregate.from_state(states[i % len(states)]))
+    if fleet.runs != merges:
+        raise AssertionError("merge fold lost runs")
+    return float(merges)
+
+
 # -- registry ---------------------------------------------------------------
 
 
@@ -236,6 +296,12 @@ def all_benchmarks():
         Benchmark("wire.parse", "wire", "packets/s", _bench_wire_parse),
         Benchmark("tunnel.fig10a_4path", "tunnel", "app_MB/s",
                   _bench_tunnel_fig10a, trials=3, warmup=1),
+        Benchmark("fleet.lite_e2e", "fleet", "vehicles/s",
+                  _bench_fleet_lite, trials=3, warmup=1),
+        Benchmark("fleet.plan_control", "fleet", "vehicles/s",
+                  _bench_fleet_plan, trials=3, warmup=1),
+        Benchmark("fleet.merge_fold", "fleet", "merges/s",
+                  _bench_fleet_merge, trials=3, warmup=1),
     ]
 
 

@@ -36,7 +36,13 @@
 #      spans-enabled run (20 s budget) into a gitignored file, checked
 #      for the sections a healthy run must produce — so the whole
 #      spans -> decomposition -> report pipeline is exercised end to end
-#      on every CI run.
+#      on every CI run;
+#   7. the fleet smoke: a small sanitized sharded fleet run through the
+#      `repro fleet` CLI (30 s budget) — JSON + HTML artifacts written,
+#      then `--check-digest` re-runs the same config at a *different*
+#      shard count and demands the stored digest reproduces byte for
+#      byte, plus the fleet.* smoke benches compared against the
+#      committed BENCH_PR9.json under the allocation gate.
 #
 # Usage: tools/ci_checks.sh [--fast]
 #   --fast skips stage 3 (the overhead micro-benchmarks).
@@ -184,5 +190,35 @@ for section in "Delay CDFs" "Per-path timelines" "Frame delay decomposition" \
         exit 1
     fi
 done
+
+echo "== stage 7: fleet smoke + shard-invariant digest (30 s budget) ======"
+FLEET_OUT="${FLEET_OUT:-fleet-ci.json}"
+FLEET_HTML="${FLEET_HTML:-fleet-ci.html}"
+t0=$(date +%s%N)
+python -m repro fleet --vehicles 6 --shards 2 --seed 1 --duration 1.0 \
+    --sanitize --out "$FLEET_OUT" --html "$FLEET_HTML"
+# rerun the saved config inline (1 shard): the digest must reproduce
+python -m repro fleet --check-digest "$FLEET_OUT" --shards 1
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "fleet smoke in ${elapsed_ms} ms -> ${FLEET_OUT}, ${FLEET_HTML}"
+if [ "$elapsed_ms" -ge 30000 ]; then
+    echo "fleet smoke blew its 30 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
+fi
+for section in "Fleet delay CDFs" "Fleet concurrency" "Control plane"; do
+    if ! grep -q "$section" "$FLEET_HTML"; then
+        echo "fleet HTML artifact is missing its '$section' section" >&2
+        exit 1
+    fi
+done
+if [ -e BENCH_PR9.json ]; then
+    # fleet.* allocation gate vs the committed full-mode artifact (same
+    # smoke-vs-full rationale and budget as stage 4)
+    FLEET_BENCH_OUT="${FLEET_BENCH_OUT:-bench-fleet-smoke.json}"
+    python -m tools.bench fleet --smoke --out "$FLEET_BENCH_OUT"
+    python -m tools.bench --input "$FLEET_BENCH_OUT" --compare BENCH_PR9.json \
+        --no-time-gate --max-alloc-regression 1200
+fi
 
 echo "ci_checks: all stages passed"
