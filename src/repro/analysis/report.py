@@ -32,6 +32,8 @@ __all__ = [
     "write_html_report",
     "render_fleet_html_report",
     "write_fleet_html_report",
+    "render_diff_html_report",
+    "write_diff_html_report",
 ]
 
 #: Stage palette (lifecycle order, matches repro.obs.aggregate.STAGES).
@@ -741,6 +743,96 @@ def write_fleet_html_report(path: str, report,
                             title: str = "CellFusion fleet report") -> int:
     """Render and write the fleet HTML report; returns the byte count."""
     doc = render_fleet_html_report(report, title=title)
+    data = doc.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+_VERDICT_PASS = "#2e7d32"
+_VERDICT_FAIL = "#c62828"
+
+
+def render_diff_html_report(matrix, title: Optional[str] = None) -> str:
+    """A :class:`~repro.scenarios.diff.DiffMatrix` as one HTML page.
+
+    The centrepiece is the **verdict matrix** — transports as rows, the
+    named invariant oracles as columns, each cell a pass/fail mark whose
+    hover title carries the oracle's detail string — followed by the
+    per-transport delivery table and overlaid packet-delay CDFs (the
+    soak keeps raw delay samples, so no rerun is needed).  Same
+    zero-dependency, byte-deterministic contract as the other reports.
+    """
+    from ..scenarios.oracles import ORACLE_NAMES
+
+    title = title or ("CellFusion differential verdicts — %s" % matrix.scenario)
+    grid = matrix.verdict_grid()
+    passed = sum(1 for r in matrix.results if r.passed)
+
+    html: List[str] = []
+    html.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    html.append("<title>%s</title><style>%s</style></head><body>"
+                % (escape(title), _CSS))
+    html.append("<h1>%s</h1>" % escape(title))
+
+    html.append('<div class="tiles">')
+    html.append(_tile("scenario", matrix.scenario))
+    html.append(_tile("seed", str(matrix.seed)))
+    html.append(_tile("duration", "%.1f s" % matrix.duration))
+    html.append(_tile("transports", str(len(matrix.results))))
+    html.append(_tile("all oracles pass", "%d / %d" % (passed, len(matrix.results))))
+    html.append("</div>")
+
+    html.append("<h2>Verdict matrix</h2>")
+    header = "".join("<th>%s</th>" % escape(name) for name in ORACLE_NAMES)
+    rows = []
+    for r in matrix.results:
+        cells = []
+        for name in ORACLE_NAMES:
+            v = grid[r.transport].get(name)
+            if v is None:
+                cells.append("<td>&mdash;</td>")
+                continue
+            mark, color = ("&#10003;", _VERDICT_PASS) if v.ok \
+                else ("&#10007;", _VERDICT_FAIL)
+            cells.append('<td style="color:%s" title="%s">%s</td>'
+                         % (color, escape(v.detail), mark))
+        rows.append("<tr><td style='text-align:left'>%s</td>%s</tr>"
+                    % (escape(r.transport), "".join(cells)))
+    html.append('<table class="data"><tr><th>transport</th>%s</tr>%s</table>'
+                % (header, "".join(rows)))
+    html.append("<p style='font-size:12px;color:#667'>Hover a failing cell "
+                "for the oracle's detail. Baseline failures under zoo "
+                "adversity are diagnostic, not regressions.</p>")
+
+    html.append("<h2>Delivery under identical adversity</h2>")
+    drows = "".join(
+        "<tr><td style='text-align:left'>%s</td><td>%.2f%%</td><td>%d</td>"
+        "<td>%d</td><td>%s</td></tr>"
+        % (escape(r.transport), r.report.delivery_ratio * 100,
+           r.report.packets_sent, r.report.packets_received,
+           escape(r.report.terminal_error or "-"))
+        for r in matrix.results)
+    html.append('<table class="data"><tr><th>transport</th><th>delivery</th>'
+                '<th>sent</th><th>received</th><th>terminal</th></tr>%s'
+                '</table>' % drows)
+
+    series = {r.transport: r.report.packet_delays
+              for r in matrix.results if r.report.packet_delays}
+    html.append("<h2>Packet-delay CDFs</h2>")
+    html.append("<figure>%s<figcaption>Delivered-packet delays per "
+                "transport under the same traces, seed, and fault plan."
+                "</figcaption></figure>" % render_cdf_svg(series))
+
+    html.append("<p style='color:#667;font-size:11px'>scenario seed %d"
+                "</p>" % matrix.seed)
+    html.append("</body></html>")
+    return "".join(html)
+
+
+def write_diff_html_report(path: str, matrix, title: Optional[str] = None) -> int:
+    """Render and write the differential report; returns the byte count."""
+    doc = render_diff_html_report(matrix, title=title)
     data = doc.encode("utf-8")
     with open(path, "wb") as fh:
         fh.write(data)

@@ -17,6 +17,14 @@ Commands:
   canonical content digest plus a self-contained HTML page;
   ``--check-digest`` re-runs a saved report's config and verifies the
   stored digest still reproduces (see docs/fleet.md);
+* ``chaos`` — the robustness gate: ``chaos list`` prints the scenario
+  catalog, ``chaos zoo`` runs every checked-in scenario and asserts its
+  invariant oracles (``--rerun`` demands byte-identical digests),
+  ``chaos run`` executes one scenario or replays a shrunk-plan JSON
+  artifact, ``chaos campaign`` searches random fault plans with
+  Hypothesis and shrinks any failure to a minimal replayable plan, and
+  ``chaos diff`` drives one scenario across all nine transports and
+  writes the HTML verdict matrix (see docs/robustness.md);
 * ``trace`` — synthesise a cellular drive trace and export it;
 * ``lint`` — run the repo's static protocol/determinism linter
   (``tools/lint``) over the source tree;
@@ -227,6 +235,133 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         n = write_fleet_html_report(args.html, report, title=title)
         print("wrote %s (%d bytes)" % (args.html, n))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        SCENARIOS,
+        catalog_rows,
+        get_scenario,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.chaos_command == "list":
+        print(format_table(
+            ["scenario", "faults", "invariants", "expected QoE shape"],
+            catalog_rows()))
+        return 0
+
+    if args.chaos_command == "run":
+        if args.plan:
+            from .scenarios import replay_artifact
+
+            report, verdicts = replay_artifact(
+                args.plan, seed=args.seed, duration=args.duration,
+                transport=args.transport, sanitize=bool(args.sanitize))
+            print("replayed %s: delivery %.2f%%, digest %s"
+                  % (args.plan, report.delivery_ratio * 100, report.digest[:16]))
+        else:
+            if not args.scenario:
+                print("chaos run needs a SCENARIO name or --plan FILE",
+                      file=sys.stderr)
+                return 2
+            res = run_scenario(args.scenario, seed=args.seed or 1,
+                               duration=args.duration,
+                               transport=args.transport,
+                               sanitize=bool(args.sanitize), smoke=args.smoke)
+            verdicts = res.verdicts
+            print("%s: delivery %.2f%%, digest %s"
+                  % (res.scenario, res.report.delivery_ratio * 100,
+                     res.digest[:16]))
+            if res.extras:
+                print("extras: %s" % res.extras)
+        bad = [v for v in verdicts if not v.ok]
+        for v in verdicts:
+            print("  %-18s %s  %s" % (v.oracle, "ok " if v.ok else "FAIL",
+                                      "" if v.ok else v.detail))
+        return 1 if bad else 0
+
+    if args.chaos_command == "zoo":
+        names = args.scenario or list(scenario_names())
+        failures = 0
+        for name in names:
+            res = run_scenario(name, seed=args.seed or 1, smoke=args.smoke,
+                               sanitize=bool(args.sanitize))
+            drift = ""
+            if args.rerun:
+                again = run_scenario(name, seed=args.seed or 1,
+                                     smoke=args.smoke,
+                                     sanitize=bool(args.sanitize))
+                if again.digest != res.digest:
+                    drift = "  DIGEST DRIFT"
+                    failures += 1
+            ok = res.passed
+            if not ok:
+                failures += 1
+            print("%-22s %s  delivery %6.2f%%  %s%s"
+                  % (name, "PASS" if ok else "FAIL",
+                     res.report.delivery_ratio * 100, res.digest[:16], drift))
+            for v in res.failures():
+                print("    %s: %s" % (v.oracle, v.detail))
+        print("%d/%d scenarios passed" % (len(names) - failures, len(names)))
+        return 1 if failures else 0
+
+    if args.chaos_command == "campaign":
+        from .scenarios import run_campaign
+
+        out = run_campaign(
+            seed=args.seed or 1,
+            duration=args.duration or 4.0,
+            transport=args.transport or "cellfusion",
+            max_examples=args.examples,
+            max_events=args.max_events,
+            derandomize=args.derandomize,
+            kinds=args.kind or None,
+            artifact_path=args.artifact,
+            sanitize=bool(args.sanitize),
+        )
+        print("campaign: %d executions, %s"
+              % (out.executions, "FAILED" if out.failed else "all oracles held"))
+        if out.failed and out.minimal_plan is not None:
+            print("minimal failing plan (%d event(s)):" % len(out.minimal_plan))
+            for e in out.minimal_plan:
+                print("  %s" % e.as_dict())
+            for v in out.minimal_verdicts:
+                if not v.ok:
+                    print("  violated %s: %s" % (v.oracle, v.detail))
+            if out.artifact_path:
+                print("replay artifact: %s (repro chaos run --plan %s)"
+                      % (out.artifact_path, out.artifact_path))
+        return 1 if out.failed else 0
+
+    if args.chaos_command == "diff":
+        from .analysis.report import write_diff_html_report
+        from .scenarios import DIFF_TRANSPORTS, run_diff
+
+        transports = args.transports or list(DIFF_TRANSPORTS)
+        matrix = run_diff(args.scenario, seed=args.seed or 1,
+                          duration=args.duration, transports=transports,
+                          sanitize=bool(args.sanitize), smoke=args.smoke)
+        from .scenarios import ORACLE_NAMES
+
+        grid = matrix.verdict_grid()
+        rows = []
+        for r in matrix.results:
+            marks = ["+" if grid[r.transport][o].ok else "x"
+                     for o in ORACLE_NAMES]
+            rows.append([r.transport, "%.2f%%" % (r.report.delivery_ratio * 100)]
+                        + marks)
+        print(format_table(["transport", "delivery"] + list(ORACLE_NAMES), rows,
+                           title="scenario %s, seed %d" % (matrix.scenario,
+                                                           matrix.seed)))
+        if args.out:
+            n = write_diff_html_report(args.out, matrix)
+            print("wrote %s (%d bytes)" % (args.out, n))
+        return 0
+
+    print("unknown chaos command", file=sys.stderr)
+    return 2
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -442,6 +577,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "the stored digest reproduces (ignores all "
                               "other flags except --shards)")
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="scenario zoo, chaos campaigns, differential verdicts")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def _chaos_common(p, duration_default=None):
+        p.add_argument("--seed", type=int, default=1, help="soak seed")
+        p.add_argument("--duration", type=float, default=duration_default,
+                       help="override the scenario's run length")
+        p.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime protocol sanitizer")
+        p.add_argument("--smoke", action="store_true",
+                       help="use the scenario's short smoke duration")
+
+    c_list = chaos_sub.add_parser("list", help="print the scenario catalog")
+    c_list.set_defaults(func=_cmd_chaos)
+
+    c_run = chaos_sub.add_parser(
+        "run", help="run one zoo scenario, or replay a shrunk-plan artifact")
+    c_run.add_argument("scenario", nargs="?", help="zoo scenario name")
+    c_run.add_argument("--plan", metavar="FILE",
+                       help="replay a (shrunk) plan JSON artifact instead")
+    c_run.add_argument("--transport", default=None, choices=TRANSPORT_NAMES)
+    _chaos_common(c_run)
+    c_run.set_defaults(func=_cmd_chaos)
+
+    c_zoo = chaos_sub.add_parser(
+        "zoo", help="run every zoo scenario and assert its oracles")
+    c_zoo.add_argument("--scenario", action="append",
+                       help="restrict to named scenario(s); repeatable")
+    c_zoo.add_argument("--rerun", action="store_true",
+                       help="run each scenario twice and demand "
+                            "byte-identical digests")
+    _chaos_common(c_zoo)
+    c_zoo.set_defaults(func=_cmd_chaos)
+
+    c_camp = chaos_sub.add_parser(
+        "campaign", help="hypothesis-driven random-plan campaign with "
+                         "failure shrinking")
+    c_camp.add_argument("--examples", type=int, default=25,
+                        help="generated plans per campaign")
+    c_camp.add_argument("--max-events", type=int, default=6,
+                        help="events per generated plan")
+    c_camp.add_argument("--derandomize", action="store_true",
+                        help="derive generation from the property itself "
+                             "(deterministic CI mode)")
+    c_camp.add_argument("--kind", action="append",
+                        help="restrict generated fault kinds; repeatable")
+    c_camp.add_argument("--artifact", metavar="FILE",
+                        default="chaos-shrunk.json",
+                        help="where to write the minimal failing plan "
+                             "(default chaos-shrunk.json)")
+    c_camp.add_argument("--transport", default=None, choices=TRANSPORT_NAMES)
+    _chaos_common(c_camp, duration_default=4.0)
+    c_camp.set_defaults(func=_cmd_chaos)
+
+    c_diff = chaos_sub.add_parser(
+        "diff", help="same scenario and seed across every transport; "
+                     "HTML verdict matrix")
+    c_diff.add_argument("scenario", help="zoo scenario name")
+    c_diff.add_argument("--transports", nargs="+", default=None,
+                        choices=TRANSPORT_NAMES,
+                        help="override the 9-transport comparison set")
+    c_diff.add_argument("--out", metavar="FILE", default="chaos-diff.html",
+                        help="HTML verdict matrix path ('' disables)")
+    _chaos_common(c_diff)
+    c_diff.set_defaults(func=_cmd_chaos)
 
     p_lint = sub.add_parser("lint", help="run the repo protocol/determinism linter")
     p_lint.add_argument("lint_args", nargs=argparse.REMAINDER,

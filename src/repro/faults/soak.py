@@ -59,6 +59,20 @@ class SoakReport:
     final_health: List[str] = field(default_factory=list)
     #: sha256 over the run's observable outcome (rerun must match).
     digest: str = ""
+    #: Whether the runtime protocol sanitizer was armed for the run.
+    sanitizer_armed: bool = False
+    #: Sanitizer check / violation deltas over the run (decode-integrity
+    #: oracle input; a completed sanitized run implies zero violations).
+    sanitizer_checks: int = 0
+    sanitizer_violations: int = 0
+    #: Delivered-packet delay samples (seconds); digested rounded, kept
+    #: raw here so differential runs can render CDFs without re-running.
+    packet_delays: List[float] = field(default_factory=list)
+    #: The plan the soak ran under (oracle input; not part of the digest
+    #: payload beyond its event list, which already participates).
+    plan: Optional[FaultPlan] = None
+    #: The run's :class:`~repro.obs.Telemetry` when requested, else None.
+    telemetry: Optional[object] = None
 
     def assert_healthy(self, min_delivery: float = 0.2) -> None:
         """Raise :class:`SoakError` unless the soak guarantees held."""
@@ -98,10 +112,12 @@ def run_chaos_soak(
     """
     from ..emulation.cellular import generate_fleet_traces
     from ..experiments.runner import run_stream
+    from ..sanitizer import totals
 
     if plan is None:
         plan = random_plan(seed, duration, path_count=path_count)
     traces = list(generate_fleet_traces(duration=duration, seed=seed))[:path_count]
+    san_before = totals()
     result = run_stream(
         transport,
         traces,
@@ -114,6 +130,13 @@ def run_chaos_soak(
     )
     faults = result.fault_summary or {}
     stats = result.client_stats
+    san_after = totals()
+    if sanitize is None:
+        from ..sanitizer import env_enabled
+
+        armed = env_enabled()
+    else:
+        armed = bool(getattr(sanitize, "enabled", sanitize))
     report = SoakReport(
         seed=seed,
         transport=transport,
@@ -131,6 +154,12 @@ def run_chaos_soak(
         watchdog_closes=getattr(stats, "watchdog_closes", 0),
         terminal_error=result.terminal_error,
         final_health=faults.get("final_health", []),
+        sanitizer_armed=armed,
+        sanitizer_checks=san_after["checks"] - san_before["checks"],
+        sanitizer_violations=san_after["violations"] - san_before["violations"],
+        packet_delays=list(result.packet_delays),
+        plan=plan,
+        telemetry=result.telemetry,
     )
     report.digest = _digest({
         "seed": seed,

@@ -91,6 +91,12 @@ class FleetConfig:
     #: Arm the runtime protocol sanitizer inside every vehicle run.
     sanitize: bool = False
 
+    #: Times a crashed shard's vid block is retried **in-process** before
+    #: the fleet run gives up.  Like ``shards``/``sanitize``, this is a
+    #: shape-only knob: recovery replays the same pure (seed, vid) specs,
+    #: so the report digest never depends on it.
+    shard_retries: int = 2
+
     def __post_init__(self):
         if self.vehicles < 1:
             raise ValueError("vehicles must be >= 1")
@@ -117,6 +123,8 @@ class FleetConfig:
             raise ValueError("fault_rate must lie in [0, 1]")
         if self.outage_pops < 0:
             raise ValueError("outage_pops must be >= 0")
+        if self.shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
         if self.outage_pops >= self.pops_per_region * len(self.regions):
             raise ValueError("outage_pops must leave at least one PoP up")
         from ..experiments.runner import TRANSPORT_NAMES

@@ -30,7 +30,7 @@ __all__ = [
 
 #: Config fields that change how a run executes but never what it
 #: computes; the digest must ignore them.
-_SHAPE_ONLY_CONFIG = ("shards", "sanitize")
+_SHAPE_ONLY_CONFIG = ("shards", "sanitize", "shard_retries")
 
 
 def hex_floats(value: Any) -> Any:

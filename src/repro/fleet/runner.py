@@ -269,13 +269,37 @@ def shard_blocks(n_vehicles: int, shards: int) -> List[range]:
             for i in range(shards)]
 
 
+#: Test hook: comma-separated vids whose *worker-process* simulation
+#: crashes the shard (the in-process retry is immune, which is exactly
+#: what makes recovery deterministic and digest-identical).
+_CRASH_ENV = "REPRO_FLEET_CRASH_VIDS"
+
+
+def _maybe_crash(vid: int) -> None:
+    import multiprocessing
+    import os
+
+    raw = os.environ.get(_CRASH_ENV, "")
+    if not raw:
+        return
+    if vid in {int(v) for v in raw.split(",") if v.strip()}:
+        if multiprocessing.parent_process() is not None:
+            # hard worker death (no exception, no cleanup): the parent
+            # sees BrokenProcessPool, the shape a real OOM-kill takes
+            os._exit(17)
+
+
 def _run_shard(config: FleetConfig, specs: List[VehicleSpec]) -> List[dict]:
     """Worker entry point: simulate one contiguous block of vehicles.
 
     Module-level on purpose (executor spawn safety): no closures, no
     shared state — just (config, specs) in, payload dicts out.
     """
-    return [simulate_vehicle(spec, config) for spec in specs]
+    out = []
+    for spec in specs:
+        _maybe_crash(spec.vid)
+        out.append(simulate_vehicle(spec, config))
+    return out
 
 
 def run_fleet(config: FleetConfig) -> FleetReport:
@@ -285,12 +309,21 @@ def run_fleet(config: FleetConfig) -> FleetReport:
     ascending vid order regardless of which shard produced them or when
     it finished, which makes the merged aggregate — and the report
     digest — invariant to ``config.shards``.
+
+    **Crash recovery**: a shard worker dying (``BrokenProcessPool`` from
+    an OOM-kill or segfault) or raising no longer kills the run — the
+    failed vid block is retried **in the parent process**, up to
+    ``config.shard_retries`` times per block.  Specs are pure functions
+    of (fleet seed, vid, placement), so a replayed block reproduces the
+    crashed worker's payloads bit for bit and the report digest matches
+    an unfaulted run; recovery counts land in ``report.meta`` only.
     """
     import time
 
     t0 = time.perf_counter()  # lint: disable=no-wall-clock -- informational wall time for the report meta; excluded from the digest
     plan = plan_fleet(config)
     blocks = shard_blocks(config.vehicles, config.shards)
+    recoveries: List[dict] = []
     if config.shards == 1:
         payloads = _run_shard(config, plan.vehicles)
     else:
@@ -298,7 +331,42 @@ def run_fleet(config: FleetConfig) -> FleetReport:
         with ProcessPoolExecutor(max_workers=config.shards) as pool:
             futures = [pool.submit(_run_shard, config, specs)
                        for specs in by_block]
-            shard_results = [f.result() for f in futures]
+            shard_results: List[List[dict]] = []
+            for i, future in enumerate(futures):
+                block = by_block[i]
+                try:
+                    shard_results.append(future.result())
+                    continue
+                except Exception as exc:  # BrokenProcessPool, worker raise
+                    first_error = exc
+                    logger.warning(
+                        "shard %d (vids %d-%d) failed: %s — retrying "
+                        "in-process", i, block[0].vid, block[-1].vid, exc)
+                recovered = None
+                errors = [repr(first_error)]
+                for attempt in range(config.shard_retries):
+                    try:
+                        recovered = _run_shard(config, block)
+                        break
+                    except Exception as exc:
+                        errors.append(repr(exc))
+                        logger.warning("shard %d retry %d failed: %s",
+                                       i, attempt + 1, exc)
+                if recovered is None:
+                    raise RuntimeError(
+                        "fleet shard %d (vids %d-%d) failed and %d in-process "
+                        "retr%s could not recover it: %s"
+                        % (i, block[0].vid, block[-1].vid,
+                           config.shard_retries,
+                           "y" if config.shard_retries == 1 else "ies",
+                           "; ".join(errors))) from first_error
+                shard_results.append(recovered)
+                recoveries.append({
+                    "shard": i,
+                    "vids": [block[0].vid, block[-1].vid],
+                    "attempts": len(errors),
+                    "errors": errors,
+                })
         payloads = [p for block in shard_results for p in block]
     payloads.sort(key=lambda p: p["vid"])
 
@@ -309,4 +377,7 @@ def run_fleet(config: FleetConfig) -> FleetReport:
 
     logger.info("fleet run: %d vehicles / %d shard(s) in %.1f s wall",
                 config.vehicles, config.shards, wall)
-    return FleetReport.build(config, plan, payloads, fleet_agg, wall)
+    report = FleetReport.build(config, plan, payloads, fleet_agg, wall)
+    if recoveries:
+        report.meta["shard_recoveries"] = recoveries
+    return report

@@ -156,6 +156,91 @@ class TestPlanValidation:
         assert [e.as_dict() for e in random_plan(12, 12.0)] != [e.as_dict() for e in a]
 
 
+class TestRandomPlanWeights:
+    """The weighted drawing mode: full kind coverage, always-valid plans."""
+
+    def test_all_ten_kinds_reachable(self):
+        # the default mix appends nat_rebind/pop_handover as a fixed
+        # tail; the weighted mode must reach every kind organically
+        seen = set()
+        uniform = {k: 1.0 for k in FAULT_KINDS}
+        for seed in range(40):
+            plan = random_plan(seed, 10.0, weights=uniform)
+            plan.validate(path_count=4)
+            seen.update(e.kind for e in plan)
+            if seen == set(FAULT_KINDS):
+                break
+        assert seen == set(FAULT_KINDS)
+
+    def test_weights_steer_coverage(self):
+        plan = random_plan(1, 10.0, weights={"reorder": 3.0, "duplicate": 1.0})
+        kinds = {e.kind for e in plan}
+        assert kinds <= {"reorder", "duplicate"} and plan
+
+    def test_weighted_plans_always_validate(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31),
+            path_count=st.integers(min_value=1, max_value=6),
+            duration=st.floats(min_value=1.5, max_value=20.0,
+                               allow_nan=False),
+            mass=st.dictionaries(st.sampled_from(FAULT_KINDS),
+                                 st.floats(min_value=0.1, max_value=5.0,
+                                           allow_nan=False),
+                                 min_size=1),
+        )
+        @settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def holds(seed, path_count, duration, mass):
+            plan = random_plan(seed, duration, path_count=path_count,
+                               weights=mass)
+            plan.validate(path_count=path_count)  # never raises
+            assert all(e.kind in mass for e in plan)
+
+        holds()
+
+    def test_default_plans_always_validate(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31),
+            path_count=st.integers(min_value=1, max_value=6),
+            duration=st.floats(min_value=1.5, max_value=20.0,
+                               allow_nan=False),
+        )
+        @settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def holds(seed, path_count, duration):
+            plan = random_plan(seed, duration, path_count=path_count)
+            plan.validate(path_count=path_count)
+
+        holds()
+
+    def test_weighted_mode_is_deterministic(self):
+        w = {"blackout": 1.0, "nat_rebind": 2.0}
+        a = random_plan(9, 8.0, weights=w)
+        b = random_plan(9, 8.0, weights=w)
+        assert [e.as_dict() for e in a] == [e.as_dict() for e in b]
+
+    def test_weight_validation(self):
+        with pytest.raises(FaultPlanError):
+            random_plan(1, 5.0, weights={"not-a-kind": 1.0})
+        with pytest.raises(FaultPlanError):
+            random_plan(1, 5.0, weights={"blackout": -1.0})
+        with pytest.raises(FaultPlanError):
+            random_plan(1, 5.0, weights={"blackout": 0.0})
+
+    def test_spare_path_respected_in_weighted_mode(self):
+        from repro.faults.plan import DESTRUCTIVE_KINDS
+
+        plan = random_plan(2, 20.0, path_count=4,
+                           weights={k: 1.0 for k in DESTRUCTIVE_KINDS})
+        assert plan and all(e.path_id != 3 for e in plan)
+
+
 class TestFaultEffects:
     def test_blackout_stops_target_path_only(self):
         loop, emu, received = two_path_world()

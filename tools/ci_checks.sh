@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo static-analysis + sanitizer CI gate.
 #
-# Five stages, each fail-fast:
+# Stages, each fail-fast:
 #   1. `repro lint` over the whole tree (tools/lint rules; exit 1 on any
 #      violation, including unjustified suppressions);
 #   1b. `repro lint --deep` — the whole-program pass (import graph, units
@@ -42,7 +42,13 @@
 #      then `--check-digest` re-runs the same config at a *different*
 #      shard count and demands the stored digest reproduces byte for
 #      byte, plus the fleet.* smoke benches compared against the
-#      committed BENCH_PR9.json under the allocation gate.
+#      committed BENCH_PR9.json under the allocation gate;
+#   8. the scenario zoo + chaos campaign (45 s budget): every named
+#      scenario runs sanitized at smoke duration with `--rerun`, so each
+#      scenario must pass its invariant oracles twice with byte-identical
+#      digests, then a small derandomized hypothesis campaign asserts the
+#      oracles over generated fault plans (a failure would shrink to a
+#      minimal replayable plan in the gitignored chaos-shrunk.json).
 #
 # Usage: tools/ci_checks.sh [--fast]
 #   --fast skips stage 3 (the overhead micro-benchmarks).
@@ -219,6 +225,20 @@ if [ -e BENCH_PR9.json ]; then
     python -m tools.bench fleet --smoke --out "$FLEET_BENCH_OUT"
     python -m tools.bench --input "$FLEET_BENCH_OUT" --compare BENCH_PR9.json \
         --no-time-gate --max-alloc-regression 1200
+fi
+
+echo "== stage 8: scenario zoo + chaos campaign (45 s budget) ============="
+CHAOS_ARTIFACT="${CHAOS_ARTIFACT:-chaos-shrunk.json}"
+t0=$(date +%s%N)
+python -m repro chaos zoo --smoke --sanitize --rerun
+python -m repro chaos campaign --examples 4 --duration 2.0 --derandomize \
+    --sanitize --artifact "$CHAOS_ARTIFACT"
+t1=$(date +%s%N)
+elapsed_ms=$(( (t1 - t0) / 1000000 ))
+echo "scenario zoo + campaign in ${elapsed_ms} ms"
+if [ "$elapsed_ms" -ge 45000 ]; then
+    echo "scenario stage blew its 45 s wall-clock budget (${elapsed_ms} ms)" >&2
+    exit 1
 fi
 
 echo "ci_checks: all stages passed"
